@@ -1,0 +1,232 @@
+// Benchmarks regenerating the paper's evaluation artifacts in testing.B
+// form. Each figure/table of the evaluation section has a corresponding
+// bench; `cmd/paperbench` prints the same series as human-readable tables.
+//
+//	Figure 1  → BenchmarkFig1Validation / BenchmarkFig1Extraction
+//	Figure 2  → BenchmarkFig2SPARQLProvenance
+//	Figure 3  → BenchmarkFig3HubDistance3
+//	§4.1      → BenchmarkTabQueriesFragments
+//	Prop 6.2  → BenchmarkTabTPF
+//
+// The Ablation benches quantify the design choices DESIGN.md calls out:
+// direct extraction vs. SPARQL translation, and NFA product tracing on
+// atomic vs. star paths.
+package shaclfrag_test
+
+import (
+	"fmt"
+	"testing"
+
+	shaclfrag "shaclfrag"
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/sparql"
+	"shaclfrag/internal/sparqltrans"
+	"shaclfrag/internal/tpf"
+	"shaclfrag/internal/validator"
+)
+
+// benchSizes are the individuals counts for the Figure 1/2 size sweeps,
+// scaled to keep `go test -bench=.` in the minutes range.
+var benchSizes = []int{500, 1000, 2000}
+
+func tyrolGraph(individuals int) *rdfgraph.Graph {
+	return datagen.Tyrol(datagen.TyrolConfig{Individuals: individuals, Seed: 42})
+}
+
+// BenchmarkFig1Validation is the Figure 1 baseline: validation alone, over
+// the whole 57-shape suite.
+func BenchmarkFig1Validation(b *testing.B) {
+	defs := datagen.BenchmarkShapes()
+	for _, size := range benchSizes {
+		g := tyrolGraph(size)
+		b.Run(fmt.Sprintf("triples=%d", g.Len()), func(b *testing.B) {
+			h := schema.MustNew(defs...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				validator.Validate(g, h, validator.Options{})
+			}
+		})
+	}
+}
+
+// BenchmarkFig1Extraction is Figure 1's instrumented run: validation plus
+// neighborhood extraction for every conforming focus node. The overhead is
+// the gap to BenchmarkFig1Validation.
+func BenchmarkFig1Extraction(b *testing.B) {
+	defs := datagen.BenchmarkShapes()
+	for _, size := range benchSizes {
+		g := tyrolGraph(size)
+		b.Run(fmt.Sprintf("triples=%d", g.Len()), func(b *testing.B) {
+			h := schema.MustNew(defs...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				validator.Validate(g, h, validator.Options{CollectProvenance: true})
+			}
+		})
+	}
+}
+
+// BenchmarkFig2SPARQLProvenance computes shape fragments through the SPARQL
+// translation (Proposition 5.3 / Corollary 5.5) for a cross-section of the
+// benchmark shapes, as in Figure 2.
+func BenchmarkFig2SPARQLProvenance(b *testing.B) {
+	defs := datagen.BenchmarkShapes()
+	indices := []int{0, 7, 30, 46}
+	for _, size := range benchSizes[:2] {
+		g := tyrolGraph(size)
+		for _, i := range indices {
+			d := defs[i]
+			request := shape.AndOf(d.Shape, d.Target)
+			b.Run(fmt.Sprintf("shape=S%02d/triples=%d", i+1, g.Len()), func(b *testing.B) {
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					tr := sparqltrans.New(nil)
+					op := tr.FragmentQuery([]shape.Shape{request}, "s", "p", "o")
+					sparql.Select(op, g, "s", "p", "o")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3HubDistance3 runs the Figure 3 analytic query over growing
+// coauthorship slices, with both computation strategies.
+func BenchmarkFig3HubDistance3(b *testing.B) {
+	corpus := datagen.NewCoauthor(datagen.CoauthorConfig{Papers: 1200, Seed: 42})
+	request := datagen.HubDistance3Shape()
+	for _, since := range []int{2020, 2017, 2014} {
+		g := corpus.Graph(since)
+		b.Run(fmt.Sprintf("direct/since=%d/triples=%d", since, g.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.NewExtractor(g, nil).Fragment([]shape.Shape{request})
+			}
+		})
+		b.Run(fmt.Sprintf("sparql/since=%d/triples=%d", since, g.Len()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := sparqltrans.New(nil)
+				op := tr.FragmentQuery([]shape.Shape{request}, "s", "p", "o")
+				sparql.Select(op, g, "s", "p", "o")
+			}
+		})
+	}
+}
+
+// BenchmarkTabQueriesFragments evaluates every expressible benchmark query
+// of the §4.1 study as a shape fragment.
+func BenchmarkTabQueriesFragments(b *testing.B) {
+	g := tyrolGraph(500)
+	queries := datagen.BenchmarkQueries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := core.NewExtractor(g, nil)
+		for _, q := range queries {
+			if q.Expressible {
+				x.Fragment([]shape.Shape{q.Request})
+			}
+		}
+	}
+}
+
+// BenchmarkTabTPF compares a raw triple-pattern scan against the equivalent
+// shape fragment (Proposition 6.2).
+func BenchmarkTabTPF(b *testing.B) {
+	g := tyrolGraph(1000)
+	pattern := tpf.Pattern{
+		S: tpf.V("x"),
+		P: tpf.C(shaclfrag.IRI(datagen.PropName)),
+		O: tpf.V("y"),
+	}
+	phi, ok := pattern.RequestShape()
+	if !ok {
+		b.Fatal("pattern must be expressible")
+	}
+	b.Run("tpf-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pattern.Eval(g)
+		}
+	})
+	b.Run("shape-fragment", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NewExtractor(g, nil).Fragment([]shape.Shape{phi})
+		}
+	})
+}
+
+// BenchmarkAblationStrategies compares the two neighborhood computation
+// strategies of Section 5 head-to-head on one shape.
+func BenchmarkAblationStrategies(b *testing.B) {
+	g := tyrolGraph(1000)
+	defs := datagen.BenchmarkShapes()
+	request := shape.AndOf(defs[0].Shape, defs[0].Target)
+	b.Run("direct-extractor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NewExtractor(g, nil).Fragment([]shape.Shape{request})
+		}
+	})
+	b.Run("sparql-translation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := sparqltrans.New(nil)
+			op := tr.FragmentQuery([]shape.Shape{request}, "s", "p", "o")
+			sparql.Select(op, g, "s", "p", "o")
+		}
+	})
+}
+
+// BenchmarkAblationPathTracing isolates graph(paths(E,G,a,b)) computation:
+// the atomic fast path versus the product-automaton search on star paths.
+func BenchmarkAblationPathTracing(b *testing.B) {
+	g := tyrolGraph(1000)
+	sources := g.NodeIDs()
+	if len(sources) > 200 {
+		sources = sources[:200]
+	}
+	run := func(b *testing.B, e paths.Expr) {
+		for i := 0; i < b.N; i++ {
+			ev := paths.NewEvaluator(e, g)
+			for _, s := range sources {
+				targets := ev.Eval(s)
+				ev.TraceUnionIDs(s, targets)
+			}
+		}
+	}
+	b.Run("atomic", func(b *testing.B) {
+		run(b, paths.P(datagen.PropKnows))
+	})
+	b.Run("star", func(b *testing.B) {
+		run(b, paths.Star{X: paths.P(datagen.PropKnows)})
+	})
+	b.Run("sequence-star", func(b *testing.B) {
+		run(b, paths.SeqOf(paths.P(datagen.PropInDistrict),
+			paths.Star{X: paths.P(datagen.PropInDistrict)}))
+	})
+}
+
+// BenchmarkWhyNot measures why-not provenance extraction across a whole
+// violation report (Remark 3.7).
+func BenchmarkWhyNot(b *testing.B) {
+	g := tyrolGraph(500)
+	defs := datagen.BenchmarkShapes()
+	h := schema.MustNew(defs...)
+	report := h.Validate(g)
+	violations := report.Violations()
+	if len(violations) == 0 {
+		b.Fatal("expected violations")
+	}
+	byName := map[string]schema.Definition{}
+	for _, d := range defs {
+		byName[d.Name.Value] = d
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := core.NewExtractor(g, h)
+		for _, v := range violations {
+			d := byName[v.ShapeName.Value]
+			x.WhyNot(v.Focus, shape.AndOf(d.Shape, d.Target))
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Command paperbench regenerates every table and figure of the evaluation
+// section of "Data Provenance for SHACL" (EDBT 2023) on the synthetic
+// workloads of internal/datagen (see DESIGN.md for the substitutions):
+//
+//	paperbench fig1        — Figure 1: extraction overhead, 57 shapes × sizes
+//	paperbench fig1 -summary — §5.3.1: average overheads
+//	paperbench fig2        — Figure 2: SPARQL-translated provenance runtimes
+//	paperbench fig3        — Figure 3: hub-distance-3 fragment vs. slices
+//	paperbench tab-queries — §4.1: 39/46 benchmark queries expressible
+//	paperbench tab-tpf     — Prop 6.2: TPF forms expressible as fragments
+//
+// Absolute numbers depend on the machine; the paper's claims are about the
+// relationships (overhead small and size-stable; SPARQL translation
+// feasible but heavier; fragment time growing with slice size).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/sparql"
+	"shaclfrag/internal/sparqltrans"
+	"shaclfrag/internal/tpf"
+	"shaclfrag/internal/validator"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fig1":
+		err = fig1(os.Args[2:])
+	case "fig2":
+		err = fig2(os.Args[2:])
+	case "fig3":
+		err = fig3(os.Args[2:])
+	case "tab-queries":
+		err = tabQueries(os.Args[2:])
+	case "tab-tpf":
+		err = tabTPF(os.Args[2:])
+	case "all":
+		for _, cmd := range []func([]string) error{fig1, fig2, fig3, tabQueries, tabTPF} {
+			if err = cmd(nil); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: paperbench fig1|fig2|fig3|tab-queries|tab-tpf|all [flags]")
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// fig1 reproduces Figure 1: for each of the 57 benchmark shapes and each
+// graph size, the percent increase in time of provenance extraction over
+// mere validation.
+func fig1(args []string) error {
+	fs := flag.NewFlagSet("fig1", flag.ExitOnError)
+	sizesFlag := fs.String("sizes", "2000,4000,6000,8000", "graph sizes (individuals)")
+	reps := fs.Int("reps", 3, "runs per measurement (paper: 3)")
+	summary := fs.Bool("summary", false, "print only the §5.3.1 aggregate numbers")
+	slowMs := fs.Float64("slow-ms", 0, "threshold (ms) for the 'slow shapes' aggregate; 0 = top quartile")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	defs := datagen.BenchmarkShapes()
+	fmt.Println("# Figure 1 — provenance extraction overhead (percent over validation)")
+	fmt.Println("# one line per shape; columns are graph sizes (triples)")
+	type cell struct {
+		overhead   float64
+		validateMs float64
+	}
+	table := make([][]cell, len(defs))
+	var header []string
+	for _, size := range sizes {
+		g := datagen.Tyrol(datagen.TyrolConfig{Individuals: size, Seed: 42})
+		header = append(header, fmt.Sprintf("%dK-triples", g.Len()/1000))
+		for i, d := range defs {
+			m := validator.MeasureOverhead(g, d, *reps)
+			table[i] = append(table[i], cell{
+				overhead:   m.Percent,
+				validateMs: float64(m.ValidateOnly.Microseconds()) / 1000,
+			})
+		}
+	}
+	if !*summary {
+		fmt.Printf("%-12s", "shape")
+		for _, h := range header {
+			fmt.Printf(" %14s", h)
+		}
+		fmt.Println()
+		for i, d := range defs {
+			fmt.Printf("%-12s", shortName(d.Name))
+			for _, c := range table[i] {
+				fmt.Printf(" %13.1f%%", c.overhead)
+			}
+			fmt.Println()
+		}
+	}
+	// §5.3.1 aggregates on the largest size.
+	last := len(sizes) - 1
+	var all, slow []float64
+	threshold := *slowMs
+	if threshold == 0 {
+		var times []float64
+		for i := range defs {
+			times = append(times, table[i][last].validateMs)
+		}
+		threshold = quantile(times, 0.75)
+	}
+	for i := range defs {
+		all = append(all, table[i][last].overhead)
+		if table[i][last].validateMs >= threshold {
+			slow = append(slow, table[i][last].overhead)
+		}
+	}
+	fmt.Printf("\n# §5.3.1 aggregates at the largest size (%s):\n", header[last])
+	fmt.Printf("average overhead, all 57 shapes:        %.1f%%  (paper: well below 10%%)\n", mean(all))
+	fmt.Printf("average overhead, slow shapes (≥%.2fms): %.1f%%  (paper: 15.6%% on >1s shapes)\n",
+		threshold, mean(slow))
+	return nil
+}
+
+func shortName(t rdf.Term) string {
+	if i := strings.LastIndexByte(t.Value, '/'); i >= 0 {
+		return t.Value[i+1:]
+	}
+	return t.Value
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// reduceTests substitutes ⊤ for node tests, the reduction the paper applies
+// before running the translated queries ("preserves the graph-navigational
+// nature of the queries").
+func reduceTests(phi shape.Shape) shape.Shape {
+	switch x := phi.(type) {
+	case *shape.Test:
+		return shape.TrueShape()
+	case *shape.Not:
+		return shape.Neg(reduceTests(x.X))
+	case *shape.And:
+		out := make([]shape.Shape, len(x.Xs))
+		for i, c := range x.Xs {
+			out[i] = reduceTests(c)
+		}
+		return shape.AndOf(out...)
+	case *shape.Or:
+		out := make([]shape.Shape, len(x.Xs))
+		for i, c := range x.Xs {
+			out[i] = reduceTests(c)
+		}
+		return shape.OrOf(out...)
+	case *shape.MinCount:
+		return shape.Min(x.N, x.Path, reduceTests(x.X))
+	case *shape.MaxCount:
+		return shape.Max(x.N, x.Path, reduceTests(x.X))
+	case *shape.Forall:
+		return shape.All(x.Path, reduceTests(x.X))
+	default:
+		return phi
+	}
+}
+
+// fig2 reproduces Figure 2: execution times of provenance computation via
+// the SPARQL translation for 12 shapes over four graph sizes. As in the
+// paper, node tests are reduced to ⊤ first.
+func fig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	sizesFlag := fs.String("sizes", "500,1000,1500,2000", "graph sizes (individuals)")
+	reps := fs.Int("reps", 3, "runs per measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+	defs := datagen.BenchmarkShapes()
+	// The 12 shapes whose translated queries the paper's setup could run:
+	// a cross-section of the constraint families.
+	indices := []int{0, 3, 7, 8, 14, 26, 30, 34, 40, 46, 52, 55}
+	fmt.Println("# Figure 2 — SPARQL-translated provenance computation time (ms)")
+	fmt.Printf("%-12s", "shape")
+	type sized struct {
+		graph *rdfgraph.Graph
+		label string
+	}
+	var graphs []sized
+	for _, size := range sizes {
+		g := datagen.Tyrol(datagen.TyrolConfig{Individuals: size, Seed: 42})
+		graphs = append(graphs, sized{g, fmt.Sprintf("%dK-triples", g.Len()/1000)})
+	}
+	for _, g := range graphs {
+		fmt.Printf(" %14s", g.label)
+	}
+	fmt.Println()
+	for _, i := range indices {
+		d := defs[i]
+		request := reduceTests(shape.AndOf(d.Shape, d.Target))
+		fmt.Printf("%-12s", shortName(d.Name))
+		for _, sg := range graphs {
+			tr := sparqltrans.New(nil)
+			op := tr.FragmentQuery([]shape.Shape{request}, "s", "p", "o")
+			var total time.Duration
+			for r := 0; r < *reps; r++ {
+				start := time.Now()
+				sparql.Select(op, sg.graph, "s", "p", "o")
+				total += time.Since(start)
+			}
+			fmt.Printf(" %12.1fms", float64(total.Microseconds())/float64(*reps)/1000)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// fig3 reproduces Figure 3: the hub-distance-3 coauthorship fragment over
+// growing year slices, computed via the SPARQL translation (the paper's
+// store-based setting) and via the direct extractor for comparison.
+func fig3(args []string) error {
+	fs := flag.NewFlagSet("fig3", flag.ExitOnError)
+	papers := fs.Int("papers", 4000, "papers in the synthetic DBLP substitute")
+	reps := fs.Int("reps", 3, "runs per measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c := datagen.NewCoauthor(datagen.CoauthorConfig{Papers: *papers, Seed: 42})
+	request := datagen.HubDistance3Shape()
+	fmt.Println("# Figure 3 — hub-distance-3 shape fragment over growing slices")
+	fmt.Printf("%-10s %10s %12s %12s %12s\n",
+		"since", "triples", "sparql-ms", "direct-ms", "fragment")
+	for year := c.YearMax(); year >= c.YearMin(); year-- {
+		g := c.Graph(year)
+		tr := sparqltrans.New(nil)
+		op := tr.FragmentQuery([]shape.Shape{request}, "s", "p", "o")
+		var sparqlTotal, directTotal time.Duration
+		var fragSize int
+		for r := 0; r < *reps; r++ {
+			start := time.Now()
+			rows := sparql.Select(op, g, "s", "p", "o")
+			sparqlTotal += time.Since(start)
+			fragSize = len(rows)
+
+			start = time.Now()
+			core.NewExtractor(g, nil).Fragment([]shape.Shape{request})
+			directTotal += time.Since(start)
+		}
+		fmt.Printf("%-10d %10d %12.1f %12.1f %12d\n",
+			year, g.Len(),
+			float64(sparqlTotal.Microseconds())/float64(*reps)/1000,
+			float64(directTotal.Microseconds())/float64(*reps)/1000,
+			fragSize)
+	}
+	return nil
+}
+
+// tabQueries reproduces the §4.1 study: which of the 46 benchmark queries
+// are expressible as shape fragments.
+func tabQueries(args []string) error {
+	fs := flag.NewFlagSet("tab-queries", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print the SPARQL text and request shapes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	qs := datagen.BenchmarkQueries()
+	expressible := 0
+	fmt.Println("# §4.1 — benchmark queries expressible as shape fragments")
+	for _, q := range qs {
+		status := "no "
+		detail := q.Reason
+		if q.Expressible {
+			expressible++
+			status = "yes"
+			detail = q.Request.String()
+		}
+		if !*verbose && len(detail) > 90 {
+			detail = detail[:87] + "..."
+		}
+		fmt.Printf("%-4s %-7s %-4s %s\n", q.Name, q.Source, status, detail)
+		if *verbose {
+			fmt.Println(indentLines(q.SPARQL, "     "))
+		}
+	}
+	fmt.Printf("\nexpressible: %d of %d (paper: 39 of 46)\n", expressible, len(qs))
+	return nil
+}
+
+func indentLines(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// tabTPF reproduces Proposition 6.2: the TPF forms expressible as shape
+// fragments.
+func tabTPF(args []string) error {
+	c := rdf.NewIRI("http://tyrol.example/c")
+	d := rdf.NewIRI("http://tyrol.example/d")
+	p := rdf.NewIRI(datagen.PropName)
+	forms := []tpf.Pattern{
+		{S: tpf.V("x"), P: tpf.C(p), O: tpf.V("y")},
+		{S: tpf.V("x"), P: tpf.C(p), O: tpf.C(c)},
+		{S: tpf.C(c), P: tpf.C(p), O: tpf.V("x")},
+		{S: tpf.C(c), P: tpf.C(p), O: tpf.C(d)},
+		{S: tpf.V("x"), P: tpf.C(p), O: tpf.V("x")},
+		{S: tpf.V("x"), P: tpf.V("y"), O: tpf.V("z")},
+		{S: tpf.C(c), P: tpf.V("y"), O: tpf.V("z")},
+		{S: tpf.V("x"), P: tpf.V("y"), O: tpf.V("x")},
+		{S: tpf.V("x"), P: tpf.V("y"), O: tpf.V("y")},
+		{S: tpf.V("x"), P: tpf.V("x"), O: tpf.V("x")},
+		{S: tpf.V("x"), P: tpf.V("y"), O: tpf.C(c)},
+		{S: tpf.V("x"), P: tpf.V("x"), O: tpf.C(c)},
+		{S: tpf.C(c), P: tpf.V("x"), O: tpf.V("x")},
+		{S: tpf.C(c), P: tpf.V("x"), O: tpf.C(d)},
+	}
+	fmt.Println("# Proposition 6.2 — TPFs expressible as shape fragments")
+	yes := 0
+	for _, f := range forms {
+		if phi, ok := f.RequestShape(); ok {
+			yes++
+			fmt.Printf("%-22s yes   %s\n", f, phi)
+		} else {
+			fmt.Printf("%-22s no\n", f)
+		}
+	}
+	fmt.Printf("\nexpressible forms: %d (paper: the 7 forms of Prop 6.2)\n", yes)
+	return nil
+}

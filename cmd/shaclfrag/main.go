@@ -1,0 +1,293 @@
+// Command shaclfrag validates RDF graphs against SHACL shapes graphs and
+// extracts provenance: neighborhoods, why-not explanations, and shape
+// fragments. It also renders the SPARQL translation of shapes.
+//
+// Usage:
+//
+//	shaclfrag validate     -data data.ttl -shapes shapes.ttl
+//	shaclfrag fragment     -data data.ttl -shapes shapes.ttl [-o out.nt]
+//	shaclfrag neighborhood -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
+//	shaclfrag whynot       -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
+//	shaclfrag translate    -shapes shapes.ttl [-shape <name>]
+//	shaclfrag tpf          -data data.ttl -pattern '?x <http://x/p> ?y'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	shaclfrag "shaclfrag"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/tpf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "fragment":
+		err = cmdFragment(os.Args[2:])
+	case "neighborhood":
+		err = cmdNeighborhood(os.Args[2:], false)
+	case "whynot":
+		err = cmdNeighborhood(os.Args[2:], true)
+	case "translate":
+		err = cmdTranslate(os.Args[2:])
+	case "tpf":
+		err = cmdTPF(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "shaclfrag: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shaclfrag:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `shaclfrag — SHACL validation with data provenance
+
+commands:
+  validate      validate a data graph against a shapes graph
+  fragment      extract the shape fragment Frag(G, H)
+  neighborhood  extract B(v, G, φ) for one focus node
+  whynot        extract the why-not provenance B(v, G, ¬φ)
+  translate     render the SPARQL translation of the shapes
+  tpf           evaluate a triple pattern fragment and its request shape`)
+}
+
+func loadGraph(path string) (*shaclfrag.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return shaclfrag.ParseTurtle(string(data))
+}
+
+func loadSchema(path string) (*shaclfrag.Schema, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return shaclfrag.ParseShapesGraph(string(data))
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	dataPath := fs.String("data", "", "data graph (Turtle)")
+	shapesPath := fs.String("shapes", "", "shapes graph (Turtle)")
+	verbose := fs.Bool("v", false, "print every result, not only violations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*dataPath)
+	if err != nil {
+		return err
+	}
+	h, err := loadSchema(*shapesPath)
+	if err != nil {
+		return err
+	}
+	report := shaclfrag.Validate(g, h)
+	for _, r := range report.Results {
+		if !r.Conforms {
+			fmt.Printf("VIOLATION %s focus %s\n", r.ShapeName, r.Focus)
+		} else if *verbose {
+			fmt.Printf("ok        %s focus %s\n", r.ShapeName, r.Focus)
+		}
+	}
+	fmt.Printf("conforms: %v (%d focus nodes checked, %d violations)\n",
+		report.Conforms, report.TargetedNodes, len(report.Violations()))
+	if !report.Conforms {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdFragment(args []string) error {
+	fs := flag.NewFlagSet("fragment", flag.ExitOnError)
+	dataPath := fs.String("data", "", "data graph (Turtle)")
+	shapesPath := fs.String("shapes", "", "shapes graph (Turtle)")
+	request := fs.String("request", "", `ad-hoc request shape in textual syntax, e.g. '>=1 <http://x/p>.top'`)
+	baseIRI := fs.String("base", "", "base IRI for bare names in -request")
+	outPath := fs.String("o", "", "output file (default stdout)")
+	viaSPARQL := fs.Bool("sparql", false, "compute via the SPARQL translation instead of the direct extractor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := loadGraph(*dataPath)
+	if err != nil {
+		return err
+	}
+	var requests []shaclfrag.Shape
+	var h *shaclfrag.Schema
+	switch {
+	case *request != "":
+		phi, err := shaclfrag.ParseShape(*request, *baseIRI)
+		if err != nil {
+			return err
+		}
+		requests = []shaclfrag.Shape{phi}
+	case *shapesPath != "":
+		if h, err = loadSchema(*shapesPath); err != nil {
+			return err
+		}
+		for _, d := range h.Definitions() {
+			requests = append(requests, shape.AndOf(d.Shape, d.Target))
+		}
+	default:
+		return fmt.Errorf("need -shapes or -request")
+	}
+	var frag []shaclfrag.Triple
+	if *viaSPARQL {
+		frag = shaclfrag.FragmentViaSPARQL(g, h, requests...)
+	} else {
+		frag = shaclfrag.Fragment(g, h, requests...)
+	}
+	out := shaclfrag.FormatNTriples(frag)
+	if *outPath == "" {
+		fmt.Print(out)
+		return nil
+	}
+	return os.WriteFile(*outPath, []byte(out), 0o644)
+}
+
+// pickShape returns the request shape for -shape (φ ∧ τ of the named
+// definition) or, with no -shape, the disjunction over all definitions.
+func pickShape(h *shaclfrag.Schema, name string) (shaclfrag.Shape, error) {
+	if name == "" {
+		var all []shaclfrag.Shape
+		for _, d := range h.Definitions() {
+			all = append(all, shape.AndOf(d.Shape, d.Target))
+		}
+		return shape.OrOf(all...), nil
+	}
+	for _, d := range h.Definitions() {
+		if d.Name.Value == name || strings.HasSuffix(d.Name.Value, name) {
+			return d.Shape, nil
+		}
+	}
+	return nil, fmt.Errorf("no shape named %q in the shapes graph", name)
+}
+
+func cmdNeighborhood(args []string, whyNot bool) error {
+	fs := flag.NewFlagSet("neighborhood", flag.ExitOnError)
+	dataPath := fs.String("data", "", "data graph (Turtle)")
+	shapesPath := fs.String("shapes", "", "shapes graph (Turtle)")
+	node := fs.String("node", "", "focus node IRI")
+	shapeName := fs.String("shape", "", "shape name (default: all shapes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("-node is required")
+	}
+	g, err := loadGraph(*dataPath)
+	if err != nil {
+		return err
+	}
+	h, err := loadSchema(*shapesPath)
+	if err != nil {
+		return err
+	}
+	phi, err := pickShape(h, *shapeName)
+	if err != nil {
+		return err
+	}
+	focus := rdf.NewIRI(strings.Trim(*node, "<>"))
+	var triples []shaclfrag.Triple
+	if whyNot {
+		triples = shaclfrag.WhyNot(g, h, focus, phi)
+	} else {
+		triples = shaclfrag.Neighborhood(g, h, focus, phi)
+	}
+	conforms := shaclfrag.Conforms(g, h, focus, phi)
+	fmt.Printf("# focus %s conforms: %v; %d provenance triples\n", focus, conforms, len(triples))
+	fmt.Print(shaclfrag.FormatNTriples(triples))
+	return nil
+}
+
+func cmdTranslate(args []string) error {
+	fs := flag.NewFlagSet("translate", flag.ExitOnError)
+	shapesPath := fs.String("shapes", "", "shapes graph (Turtle)")
+	shapeName := fs.String("shape", "", "shape name (default: fragment query over all shapes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := loadSchema(*shapesPath)
+	if err != nil {
+		return err
+	}
+	if *shapeName != "" {
+		phi, err := pickShape(h, *shapeName)
+		if err != nil {
+			return err
+		}
+		fmt.Print(shaclfrag.NeighborhoodSPARQL(h, phi))
+		return nil
+	}
+	var requests []shaclfrag.Shape
+	for _, d := range h.Definitions() {
+		requests = append(requests, shape.AndOf(d.Shape, d.Target))
+	}
+	fmt.Print(shaclfrag.FragmentSPARQL(h, requests...))
+	return nil
+}
+
+func cmdTPF(args []string) error {
+	fs := flag.NewFlagSet("tpf", flag.ExitOnError)
+	dataPath := fs.String("data", "", "data graph (Turtle)")
+	patternText := fs.String("pattern", "", `triple pattern, e.g. '?x <http://x/p> ?y'`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pattern, err := parsePattern(*patternText)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*dataPath)
+	if err != nil {
+		return err
+	}
+	phi, ok := pattern.RequestShape()
+	if ok {
+		fmt.Printf("# request shape: %s\n", phi)
+	} else {
+		fmt.Printf("# not expressible as a shape fragment (Proposition 6.2)\n")
+	}
+	fmt.Print(shaclfrag.FormatNTriples(pattern.Eval(g)))
+	return nil
+}
+
+func parsePattern(text string) (tpf.Pattern, error) {
+	fields := strings.Fields(text)
+	if len(fields) != 3 {
+		return tpf.Pattern{}, fmt.Errorf("pattern must have three components, got %q", text)
+	}
+	pos := make([]tpf.Pos, 3)
+	for i, f := range fields {
+		switch {
+		case strings.HasPrefix(f, "?"):
+			pos[i] = tpf.V(strings.TrimPrefix(f, "?"))
+		case strings.HasPrefix(f, "<") && strings.HasSuffix(f, ">"):
+			pos[i] = tpf.C(rdf.NewIRI(strings.Trim(f, "<>")))
+		case strings.HasPrefix(f, `"`):
+			pos[i] = tpf.C(rdf.NewString(strings.Trim(f, `"`)))
+		default:
+			return tpf.Pattern{}, fmt.Errorf("cannot parse pattern component %q", f)
+		}
+	}
+	return tpf.Pattern{S: pos[0], P: pos[1], O: pos[2]}, nil
+}

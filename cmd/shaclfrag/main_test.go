@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testData = `
+@prefix ex: <http://x/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:p1 rdf:type ex:Paper ; ex:author ex:bob .
+ex:p2 rdf:type ex:Paper ; ex:author ex:anne .
+ex:bob rdf:type ex:Student .
+ex:anne rdf:type ex:Professor .
+`
+
+const testShapes = `
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://x/> .
+ex:WorkshopShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [
+    sh:path ex:author ; sh:qualifiedMinCount 1 ;
+    sh:qualifiedValueShape [ sh:class ex:Student ] ] .
+`
+
+// buildCLI compiles the shaclfrag binary once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "shaclfrag")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeInputs(t *testing.T) (dataPath, shapesPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "data.ttl")
+	shapesPath = filepath.Join(dir, "shapes.ttl")
+	if err := os.WriteFile(dataPath, []byte(testData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shapesPath, []byte(testShapes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, shapesPath
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	data, shapes := writeInputs(t)
+
+	run := func(wantExit int, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("%v: exit %d, want %d\n%s", args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	// validate: the graph has one violation (p2), so exit code 1.
+	out := run(1, "validate", "-data", data, "-shapes", shapes)
+	if !strings.Contains(out, "VIOLATION") || !strings.Contains(out, "conforms: false") {
+		t.Errorf("validate output: %s", out)
+	}
+
+	// fragment via schema.
+	out = run(0, "fragment", "-data", data, "-shapes", shapes)
+	if !strings.Contains(out, "Student") || strings.Contains(out, "Professor") {
+		t.Errorf("fragment output: %s", out)
+	}
+
+	// fragment via the SPARQL strategy must agree.
+	sparqlOut := run(0, "fragment", "-data", data, "-shapes", shapes, "-sparql")
+	if sparqlOut != out {
+		t.Errorf("strategies disagree:\n%s\nvs\n%s", out, sparqlOut)
+	}
+
+	// fragment via an ad-hoc request shape.
+	out = run(0, "fragment", "-data", data, "-request", ">=1 author.top", "-base", "http://x/")
+	if strings.Count(out, "author") != 2 {
+		t.Errorf("request fragment: %s", out)
+	}
+
+	// neighborhood of the conforming paper.
+	out = run(0, "neighborhood", "-data", data, "-shapes", shapes,
+		"-node", "http://x/p1", "-shape", "WorkshopShape")
+	if !strings.Contains(out, "conforms: true") || !strings.Contains(out, "bob") {
+		t.Errorf("neighborhood output: %s", out)
+	}
+
+	// whynot of the violating paper.
+	out = run(0, "whynot", "-data", data, "-shapes", shapes,
+		"-node", "http://x/p2", "-shape", "WorkshopShape")
+	if !strings.Contains(out, "conforms: false") {
+		t.Errorf("whynot output: %s", out)
+	}
+
+	// translate renders SPARQL.
+	out = run(0, "translate", "-shapes", shapes)
+	if !strings.Contains(out, "SELECT ?s ?p ?o") {
+		t.Errorf("translate output: %s", out)
+	}
+
+	// tpf evaluation plus request shape.
+	out = run(0, "tpf", "-data", data, "-pattern", "?x <http://x/author> ?y")
+	if !strings.Contains(out, "# request shape: ≥1") || strings.Count(out, "author") < 3 {
+		t.Errorf("tpf output: %s", out)
+	}
+
+	// error handling: missing files and bad patterns.
+	run(1, "validate", "-data", "/nonexistent.ttl", "-shapes", shapes)
+	run(1, "tpf", "-data", data, "-pattern", "only two")
+	run(2, "nonsense")
+}
+
+func TestParsePatternUnit(t *testing.T) {
+	p, err := parsePattern(`?x <http://x/p> "lit"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.S.IsVar() || p.P.IsVar() || p.O.IsVar() {
+		t.Errorf("pattern positions wrong: %+v", p)
+	}
+	if _, err := parsePattern("?x ?y"); err == nil {
+		t.Error("two components must fail")
+	}
+	if _, err := parsePattern("?x [bad] ?y"); err == nil {
+		t.Error("unparsable component must fail")
+	}
+}

@@ -1,0 +1,146 @@
+// Ldfserver: a Linked-Data-Fragments-style HTTP interface (Section 7 and
+// Figure 4 of the paper position shape fragments between Triple Pattern
+// Fragments and full SPARQL endpoints). The server hosts a synthetic
+// tourism graph and answers:
+//
+//	GET /validate                   — validation report for the hosted schema
+//	GET /fragment?shape=<name>      — the shape fragment of one definition
+//	GET /fragment                   — Frag(G, H) for the whole schema
+//	GET /tpf?s=&p=&o=               — a triple pattern fragment
+//
+// By default it binds an ephemeral port, issues demo requests against
+// itself, and exits; run with -serve to keep it listening.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+
+	shaclfrag "shaclfrag"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/tpf"
+)
+
+type server struct {
+	graph  *shaclfrag.Graph
+	schema *shaclfrag.Schema
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /validate", s.handleValidate)
+	mux.HandleFunc("GET /fragment", s.handleFragment)
+	mux.HandleFunc("GET /tpf", s.handleTPF)
+	return mux
+}
+
+func (s *server) handleValidate(w http.ResponseWriter, _ *http.Request) {
+	report := shaclfrag.Validate(s.graph, s.schema)
+	fmt.Fprintf(w, "conforms: %v\nfocus nodes: %d\nviolations: %d\n",
+		report.Conforms, report.TargetedNodes, len(report.Violations()))
+}
+
+func (s *server) handleFragment(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("shape")
+	var triples []shaclfrag.Triple
+	if name == "" {
+		triples = shaclfrag.FragmentSchema(s.graph, s.schema)
+	} else {
+		var def *schema.Definition
+		for i, d := range s.schema.Definitions() {
+			if strings.HasSuffix(d.Name.Value, name) {
+				def = &s.schema.Definitions()[i]
+				break
+			}
+		}
+		if def == nil {
+			http.Error(w, "unknown shape "+name, http.StatusNotFound)
+			return
+		}
+		triples = shaclfrag.Fragment(s.graph, s.schema, shape.AndOf(def.Shape, def.Target))
+	}
+	w.Header().Set("Content-Type", "application/n-triples")
+	io.WriteString(w, shaclfrag.FormatNTriples(triples))
+}
+
+func (s *server) handleTPF(w http.ResponseWriter, r *http.Request) {
+	pos := func(raw, fallback string) tpf.Pos {
+		switch {
+		case raw == "":
+			return tpf.V(fallback)
+		case strings.HasPrefix(raw, "?"):
+			return tpf.V(strings.TrimPrefix(raw, "?"))
+		default:
+			return tpf.C(rdf.NewIRI(strings.Trim(raw, "<>")))
+		}
+	}
+	q := r.URL.Query()
+	pattern := tpf.Pattern{
+		S: pos(q.Get("s"), "s"),
+		P: pos(q.Get("p"), "p"),
+		O: pos(q.Get("o"), "o"),
+	}
+	if phi, ok := pattern.RequestShape(); ok {
+		w.Header().Set("X-Request-Shape", phi.String())
+	}
+	w.Header().Set("Content-Type", "application/n-triples")
+	io.WriteString(w, shaclfrag.FormatNTriples(pattern.Eval(s.graph)))
+}
+
+func main() {
+	serve := flag.Bool("serve", false, "keep serving instead of running the demo requests")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	individuals := flag.Int("individuals", 300, "size of the hosted synthetic graph")
+	flag.Parse()
+
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: *individuals, Seed: 1})
+	defs := datagen.BenchmarkShapes()[:8]
+	srv := &server{graph: g, schema: schema.MustNew(defs...)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hosting %d triples at http://%s\n", g.Len(), ln.Addr())
+	httpServer := &http.Server{Handler: srv.routes()}
+	if *serve {
+		if err := httpServer.Serve(ln); err != nil {
+			panic(err)
+		}
+		return
+	}
+	go httpServer.Serve(ln) //nolint:errcheck — shut down by process exit
+
+	base := "http://" + ln.Addr().String()
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if h := resp.Header.Get("X-Request-Shape"); h != "" {
+			return "request shape: " + h + "\n" + string(body)
+		}
+		return string(body)
+	}
+	fmt.Println("\nGET /validate")
+	fmt.Print(get("/validate"))
+
+	frag := get("/fragment?shape=S01")
+	fmt.Printf("\nGET /fragment?shape=S01 → %d triples\n", strings.Count(frag, "\n"))
+
+	tpfQuery := "/tpf?s=&p=" + url.QueryEscape("<"+datagen.PropName+">") + "&o="
+	tpfResult := get(tpfQuery)
+	lines := strings.SplitN(tpfResult, "\n", 3)
+	fmt.Printf("\nGET /tpf (all name triples) → %d triples, e.g.:\n%s\n",
+		strings.Count(tpfResult, "\n")-1, lines[0])
+}

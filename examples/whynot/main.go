@@ -1,0 +1,67 @@
+// Whynot: debugging constraint violations with why-not provenance
+// (Remark 3.7 of the paper). A lodging catalogue has several constraints;
+// for every violation the program extracts B(v, G, ¬φ) — the exact triples
+// responsible for the failure — instead of a bare "node violates shape".
+package main
+
+import (
+	"fmt"
+
+	shaclfrag "shaclfrag"
+)
+
+const data = `
+@prefix ex: <http://lodging.example/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+
+ex:alpenhof rdf:type ex:Hotel ;
+    ex:name "Alpenhof"@de , "Alpenhof Inn"@en ;
+    ex:checkin 14 ; ex:checkout 11 .
+
+ex:grandhotel rdf:type ex:Hotel ;
+    ex:name "Grand"@en , "Grander"@en ;   # duplicate language tag
+    ex:checkin 15 ; ex:checkout 10 .
+
+ex:fleabag rdf:type ex:Hotel ;
+    ex:name "Fleabag"@en ;
+    ex:checkin 10 ; ex:checkout 12 ;      # checkout before checkin? no: 10 < 12 is fine...
+    ex:rating 11 .                        # ...but the rating is out of range
+`
+
+const shapes = `
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://lodging.example/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:HotelShape a sh:NodeShape ;
+    sh:targetClass ex:Hotel ;
+    sh:property [ sh:path ex:name ; sh:uniqueLang true ] ;
+    sh:property [ sh:path ex:checkout ; sh:lessThan ex:checkin ] ;
+    sh:property [ sh:path ex:rating ; sh:maxInclusive 5 ] .
+`
+
+func main() {
+	g, err := shaclfrag.ParseTurtle(data)
+	if err != nil {
+		panic(err)
+	}
+	h, err := shaclfrag.ParseShapesGraph(shapes)
+	if err != nil {
+		panic(err)
+	}
+	report := shaclfrag.Validate(g, h)
+	fmt.Printf("conforms: %v — %d focus nodes, %d violations\n\n",
+		report.Conforms, report.TargetedNodes, len(report.Violations()))
+
+	def := h.Definitions()[0]
+	for _, r := range report.Results {
+		if r.Conforms {
+			fmt.Printf("%s conforms; evidence B(v, G, φ):\n", r.Focus)
+			fmt.Print(shaclfrag.FormatNTriples(shaclfrag.Neighborhood(g, h, r.Focus, def.Shape)))
+		} else {
+			fmt.Printf("%s VIOLATES; why-not provenance B(v, G, ¬φ):\n", r.Focus)
+			fmt.Print(shaclfrag.FormatNTriples(shaclfrag.WhyNot(g, h, r.Focus, def.Shape)))
+		}
+		fmt.Println()
+	}
+}

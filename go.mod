@@ -1,0 +1,3 @@
+module shaclfrag
+
+go 1.22

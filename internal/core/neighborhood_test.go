@@ -1,0 +1,482 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/shapetest"
+	"shaclfrag/internal/turtle"
+)
+
+const base = "http://x/"
+
+func iri(s string) rdf.Term { return rdf.NewIRI(base + s) }
+
+func p(name string) paths.Expr { return paths.P(base + name) }
+
+func mustGraph(t *testing.T, src string) *rdfgraph.Graph {
+	t.Helper()
+	g, err := turtle.Parse("@prefix ex: <" + base + "> .\n" + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func triplesEqual(got []rdf.Triple, want []rdf.Triple) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	set := make(map[rdf.Triple]struct{}, len(got))
+	for _, t := range got {
+		set[t] = struct{}{}
+	}
+	for _, t := range want {
+		if _, ok := set[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNeighborhoodNonConformingIsEmpty(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	phi := shape.Min(2, p("p"), shape.TrueShape())
+	if n := core.Neighborhood(g, nil, iri("a"), phi); len(n) != 0 {
+		t.Errorf("non-conforming node must have empty neighborhood, got %v", n)
+	}
+}
+
+func TestNeighborhoodAtomsAreEmpty(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:a ex:q "x"@en .`)
+	for _, phi := range []shape.Shape{
+		shape.TrueShape(),
+		shape.Value(iri("a")),
+		shape.NodeTestShape(shape.IsIRI{}),
+		shape.ClosedShape(base+"p", base+"q"),
+		shape.DisjPath(p("p"), base+"q"),
+		shape.UniqueLangShape(p("q")),
+		shape.Less(p("nothing"), base+"alsonothing"),
+	} {
+		if n := core.Neighborhood(g, nil, iri("a"), phi); len(n) != 0 {
+			t.Errorf("B(a, %s) = %v, want empty", phi, n)
+		}
+	}
+}
+
+func TestNeighborhoodWorkshopShape(t *testing.T) {
+	// Example 1.2: neighborhood of the WorkshopShape = the author triples
+	// leading to students, plus the student-typing triples.
+	g := mustGraph(t, `
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:p1 ex:author ex:anne , ex:bob .
+ex:anne rdf:type ex:Professor .
+ex:bob rdf:type ex:Student .
+ex:other ex:author ex:bob .
+`)
+	phi := shape.Min(1, p("author"),
+		shape.Min(1, paths.P(rdf.RDFType), shape.Value(iri("Student"))))
+	got := core.Neighborhood(g, nil, iri("p1"), phi)
+	typ := rdf.NewIRI(rdf.RDFType)
+	want := []rdf.Triple{
+		rdf.T(iri("p1"), iri("author"), iri("bob")),
+		rdf.T(iri("bob"), typ, iri("Student")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(p1, WorkshopShape) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodHappyAtWork(t *testing.T) {
+	// Example 3.3: ¬disj(friend, colleague) collects all pairs of
+	// friend/colleague triples sharing a target.
+	g := mustGraph(t, `
+ex:v ex:friend ex:x , ex:y , ex:z .
+ex:v ex:colleague ex:x , ex:y , ex:w .
+`)
+	phi := shape.Neg(shape.DisjPath(p("friend"), base+"colleague"))
+	got := core.Neighborhood(g, nil, iri("v"), phi)
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("friend"), iri("x")),
+		rdf.T(iri("v"), iri("colleague"), iri("x")),
+		rdf.T(iri("v"), iri("friend"), iri("y")),
+		rdf.T(iri("v"), iri("colleague"), iri("y")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ¬disj) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodExample35(t *testing.T) {
+	// Example 3.5, verbatim from the paper.
+	g := mustGraph(t, `
+ex:p1 ex:type ex:paper .
+ex:p1 ex:auth ex:Anne , ex:Bob .
+ex:Anne ex:type ex:prof .
+ex:Bob ex:type ex:student .
+`)
+	tau := shape.Min(1, p("type"), shape.Value(iri("paper")))
+	phi1 := shape.Min(1, p("auth"), shape.TrueShape())
+	// φ2 = ≤1 auth.≤0 type.hasValue(student) (already in NNF).
+	phi2 := shape.Max(1, p("auth"), shape.Max(0, p("type"), shape.Value(iri("student"))))
+
+	got1 := core.Neighborhood(g, nil, iri("p1"), shape.AndOf(phi1, tau))
+	want1 := []rdf.Triple{
+		rdf.T(iri("p1"), iri("type"), iri("paper")),
+		rdf.T(iri("p1"), iri("auth"), iri("Anne")),
+		rdf.T(iri("p1"), iri("auth"), iri("Bob")),
+	}
+	if !triplesEqual(got1, want1) {
+		t.Errorf("B(p1, φ1∧τ) = %v\nwant %v", got1, want1)
+	}
+
+	got2 := core.Neighborhood(g, nil, iri("p1"), shape.AndOf(phi2, tau))
+	want2 := []rdf.Triple{
+		rdf.T(iri("p1"), iri("type"), iri("paper")),
+		rdf.T(iri("p1"), iri("auth"), iri("Bob")),
+		rdf.T(iri("Bob"), iri("type"), iri("student")),
+	}
+	if !triplesEqual(got2, want2) {
+		t.Errorf("B(p1, φ2∧τ) = %v\nwant %v", got2, want2)
+	}
+}
+
+func TestNeighborhoodEq(t *testing.T) {
+	g := mustGraph(t, `
+ex:v ex:p ex:x . ex:v ex:q ex:x .
+ex:v ex:p ex:y . ex:v ex:q ex:y .
+ex:other ex:p ex:z .
+`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.EqPath(p("p"), base+"q"))
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("p"), iri("x")),
+		rdf.T(iri("v"), iri("q"), iri("x")),
+		rdf.T(iri("v"), iri("p"), iri("y")),
+		rdf.T(iri("v"), iri("q"), iri("y")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, eq(p,q)) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodEqID(t *testing.T) {
+	g := mustGraph(t, `ex:v ex:p ex:v .`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.EqID(base+"p"))
+	want := []rdf.Triple{rdf.T(iri("v"), iri("p"), iri("v"))}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, eq(id,p)) = %v, want %v", got, want)
+	}
+}
+
+func TestNeighborhoodNegEq(t *testing.T) {
+	// ¬eq(E,p): E-paths ending outside p(v), plus p-edges outside E(v).
+	g := mustGraph(t, `
+ex:v ex:p ex:both . ex:v ex:q ex:both .
+ex:v ex:p ex:onlyP .
+ex:v ex:q ex:onlyQ .
+`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.EqPath(p("p"), base+"q")))
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("p"), iri("onlyP")),
+		rdf.T(iri("v"), iri("q"), iri("onlyQ")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ¬eq(p,q)) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodNegEqID(t *testing.T) {
+	g := mustGraph(t, `ex:v ex:p ex:v , ex:x , ex:y .`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.EqID(base+"p")))
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("p"), iri("x")),
+		rdf.T(iri("v"), iri("p"), iri("y")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ¬eq(id,p)) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodNegDisjID(t *testing.T) {
+	g := mustGraph(t, `ex:v ex:p ex:v , ex:x .`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.DisjID(base+"p")))
+	want := []rdf.Triple{rdf.T(iri("v"), iri("p"), iri("v"))}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ¬disj(id,p)) = %v, want %v", got, want)
+	}
+}
+
+func TestNeighborhoodNegClosed(t *testing.T) {
+	g := mustGraph(t, `ex:v ex:p ex:a ; ex:q ex:b ; ex:r ex:c .`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.ClosedShape(base+"p")))
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("q"), iri("b")),
+		rdf.T(iri("v"), iri("r"), iri("c")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ¬closed({p})) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodNegLessThan(t *testing.T) {
+	g := mustGraph(t, `
+ex:v ex:low 1 , 9 .
+ex:v ex:high 5 .
+`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.Less(p("low"), base+"high")))
+	// Witness pair: low=9, high=5 (9 ≮ 5). The low=1 edge is not evidence.
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("low"), rdf.NewTypedLiteral("9", rdf.XSDInteger)),
+		rdf.T(iri("v"), iri("high"), rdf.NewTypedLiteral("5", rdf.XSDInteger)),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ¬lessThan) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodNegLessThanEqOnEquality(t *testing.T) {
+	// ¬lessThanEq is *not* witnessed by equal values; ¬lessThan is.
+	g := mustGraph(t, `ex:v ex:low 5 . ex:v ex:high 5 .`)
+	ltWitness := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.Less(p("low"), base+"high")))
+	if len(ltWitness) != 2 {
+		t.Errorf("¬lessThan on equal values should have a 2-triple witness, got %v", ltWitness)
+	}
+	lteWitness := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.LessEq(p("low"), base+"high")))
+	if len(lteWitness) != 0 {
+		t.Errorf("¬lessThanEq must not conform on equal values, got %v", lteWitness)
+	}
+}
+
+func TestNeighborhoodNegUniqueLang(t *testing.T) {
+	g := mustGraph(t, `
+ex:v ex:label "a"@en , "b"@en , "c"@nl .
+`)
+	got := core.Neighborhood(g, nil, iri("v"), shape.Neg(shape.UniqueLangShape(p("label"))))
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("label"), rdf.NewLangString("a", "en")),
+		rdf.T(iri("v"), iri("label"), rdf.NewLangString("b", "en")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ¬uniqueLang) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodForall(t *testing.T) {
+	g := mustGraph(t, `
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:v ex:friend ex:x , ex:y .
+ex:x ex:likes ex:pingpong .
+ex:y ex:likes ex:pingpong .
+`)
+	phi := shape.All(p("friend"), shape.Min(1, p("likes"), shape.Value(iri("pingpong"))))
+	got := core.Neighborhood(g, nil, iri("v"), phi)
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("friend"), iri("x")),
+		rdf.T(iri("v"), iri("friend"), iri("y")),
+		rdf.T(iri("x"), iri("likes"), iri("pingpong")),
+		rdf.T(iri("y"), iri("likes"), iri("pingpong")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ∀friend.…) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodMaxCount(t *testing.T) {
+	// ≤n traces the counterexamples of ψ with their ¬ψ-neighborhoods.
+	g := mustGraph(t, `
+ex:v ex:auth ex:anne , ex:bob .
+ex:anne ex:type ex:prof .
+ex:bob ex:type ex:student .
+`)
+	phi := shape.Max(1, p("auth"), shape.Max(0, p("type"), shape.Value(iri("student"))))
+	got := core.Neighborhood(g, nil, iri("v"), phi)
+	want := []rdf.Triple{
+		rdf.T(iri("v"), iri("auth"), iri("bob")),
+		rdf.T(iri("bob"), iri("type"), iri("student")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B(v, ≤1 auth.…) = %v\nwant %v", got, want)
+	}
+}
+
+func TestNeighborhoodHasShape(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	h := defsMap{iri("S"): shape.Min(1, p("p"), shape.TrueShape())}
+	got := core.Neighborhood(g, h, iri("a"), shape.Ref(iri("S")))
+	want := []rdf.Triple{rdf.T(iri("a"), iri("p"), iri("b"))}
+	if !triplesEqual(got, want) {
+		t.Errorf("B through hasShape = %v, want %v", got, want)
+	}
+	// Negated reference resolves through NNF of the negated definition.
+	got = core.Neighborhood(g, h, iri("b"), shape.Neg(shape.Ref(iri("S"))))
+	if len(got) != 0 {
+		t.Errorf("B(b, ¬hasShape(S)) = %v, want empty (≤0 p.⊤ has no witnesses)", got)
+	}
+}
+
+type defsMap map[rdf.Term]shape.Shape
+
+func (d defsMap) Def(name rdf.Term) (shape.Shape, bool) {
+	s, ok := d[name]
+	return s, ok
+}
+
+func TestNeighborhoodStarPath(t *testing.T) {
+	// Path expression with a star: the whole reachable chain is traced.
+	g := mustGraph(t, `
+ex:a ex:p ex:b . ex:b ex:p ex:c . ex:c ex:type ex:Goal .
+ex:a ex:p ex:dead .
+`)
+	phi := shape.Min(1, paths.Star{X: p("p")}, shape.Min(1, p("type"), shape.Value(iri("Goal"))))
+	got := core.Neighborhood(g, nil, iri("a"), phi)
+	want := []rdf.Triple{
+		rdf.T(iri("a"), iri("p"), iri("b")),
+		rdf.T(iri("b"), iri("p"), iri("c")),
+		rdf.T(iri("c"), iri("type"), iri("Goal")),
+	}
+	if !triplesEqual(got, want) {
+		t.Errorf("B with star path = %v\nwant %v", got, want)
+	}
+}
+
+func TestWhyNot(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:b ex:bad ex:yes .`)
+	// φ: all p-successors have no 'bad' property. a fails because of b.
+	phi := shape.All(p("p"), shape.Max(0, p("bad"), shape.TrueShape()))
+	x := core.NewExtractor(g, nil)
+	if got := x.Neighborhood(iri("a"), phi); len(got) != 0 {
+		t.Fatalf("a must not conform, got neighborhood %v", got)
+	}
+	why := x.WhyNot(iri("a"), phi)
+	want := []rdf.Triple{
+		rdf.T(iri("a"), iri("p"), iri("b")),
+		rdf.T(iri("b"), iri("bad"), iri("yes")),
+	}
+	if !triplesEqual(why, want) {
+		t.Errorf("WhyNot = %v\nwant %v", why, want)
+	}
+}
+
+// Property test for Theorem 3.4 (Sufficiency): whenever G,v ⊨ φ, then for
+// every G' with B(v,G,φ) ⊆ G' ⊆ G we have G',v ⊨ φ. We check G' = B itself
+// plus random supergraphs of B inside G.
+func TestSufficiencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials, conformed := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		g := shapetest.RandomGraph(rng, 10)
+		phi := shapetest.RandomShape(rng, 3)
+		x := core.NewExtractor(g, nil)
+		for _, v := range g.NodeIDs() {
+			trials++
+			vt := g.Term(v)
+			if !x.Evaluator().Conforms(v, phi) {
+				if n := x.Neighborhood(vt, phi); len(n) != 0 {
+					t.Fatalf("non-conforming node %v has non-empty neighborhood for %s", vt, phi)
+				}
+				continue
+			}
+			conformed++
+			b := x.Neighborhood(vt, phi)
+			for _, tr := range b {
+				if !g.Has(tr) {
+					t.Fatalf("neighborhood not a subgraph: %v ∉ G (φ = %s)", tr, phi)
+				}
+			}
+			// G' = B.
+			checkConforms(t, b, nil, vt, phi, g)
+			// Random G' with B ⊆ G' ⊆ G.
+			gPrime := append([]rdf.Triple(nil), b...)
+			for _, tr := range g.Triples() {
+				if rng.Intn(2) == 0 {
+					gPrime = append(gPrime, tr)
+				}
+			}
+			checkConforms(t, gPrime, nil, vt, phi, g)
+		}
+	}
+	if conformed < 100 {
+		t.Fatalf("only %d/%d conforming cases; generator too weak", conformed, trials)
+	}
+}
+
+func checkConforms(t *testing.T, triples []rdf.Triple, defs shape.Defs, v rdf.Term, phi shape.Shape, orig *rdfgraph.Graph) {
+	t.Helper()
+	sub := rdfgraph.FromTriples(triples)
+	ev := shape.NewEvaluator(sub, defs)
+	if !ev.ConformsTerm(v, phi) {
+		t.Fatalf("Sufficiency violated for φ = %s at %v\nG:\n%s\nG':\n%s",
+			phi, v, turtle.FormatGraph(orig), turtle.FormatNTriples(triples))
+	}
+}
+
+// Property test for Corollary 4.2: G,v ⊨ φ implies Frag(G,S),v ⊨ φ for φ∈S.
+func TestFragmentSufficiencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 200; trial++ {
+		g := shapetest.RandomGraph(rng, 12)
+		requests := []shape.Shape{
+			shapetest.RandomShape(rng, 2),
+			shapetest.RandomShape(rng, 3),
+		}
+		x := core.NewExtractor(g, nil)
+		fragTriples := x.Fragment(requests)
+		frag := rdfgraph.FromTriples(fragTriples)
+		for _, tr := range fragTriples {
+			if !g.Has(tr) {
+				t.Fatalf("fragment not a subgraph: %v", tr)
+			}
+		}
+		fev := shape.NewEvaluator(frag, nil)
+		for _, phi := range requests {
+			for _, v := range g.NodeIDs() {
+				if x.Evaluator().Conforms(v, phi) {
+					if !fev.ConformsTerm(g.Term(v), phi) {
+						t.Fatalf("Corollary 4.2 violated at %v for %s\nG:\n%s\nFrag:\n%s",
+							g.Term(v), phi, turtle.FormatGraph(g), turtle.FormatNTriples(fragTriples))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestExample43ConverseFails(t *testing.T) {
+	// φ = ≤0 p.⊤ on G = {(a,p,b)}: the fragment is empty, a conforms in
+	// the fragment but not in G.
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	phi := shape.Max(0, p("p"), shape.TrueShape())
+	x := core.NewExtractor(g, nil)
+	frag := x.Fragment([]shape.Shape{phi})
+	if len(frag) != 0 {
+		t.Fatalf("Frag = %v, want empty", frag)
+	}
+	if x.Evaluator().ConformsTerm(iri("a"), phi) {
+		t.Fatal("a must not conform in G")
+	}
+	emptyEv := shape.NewEvaluator(rdfgraph.New(), nil)
+	if !emptyEv.ConformsTerm(iri("a"), phi) {
+		t.Fatal("a conforms trivially in the empty fragment")
+	}
+}
+
+func TestNeighborhoodDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := shapetest.RandomGraph(rng, 20)
+	phi := shapetest.RandomShape(rng, 3)
+	x1 := core.NewExtractor(g, nil)
+	x2 := core.NewExtractor(g.Clone(), nil)
+	for _, v := range g.NodeIDs() {
+		vt := g.Term(v)
+		a := x1.Neighborhood(vt, phi)
+		b := x2.Neighborhood(vt, phi)
+		if !triplesEqual(a, b) {
+			t.Fatalf("nondeterministic neighborhood at %v for %s:\n%v\nvs\n%v", vt, phi, a, b)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/shape"
+)
+
+// Coauthorship vocabulary, standing in for the DBLP RDF schema.
+const (
+	PropAuthoredBy = NS + "authoredBy"
+	PropYear       = NS + "year"
+)
+
+// HubAuthor is the designated prolific central author, playing the role of
+// Moshe Y. Vardi in the Figure 3 experiment.
+var HubAuthor = rdf.NewIRI(NS + "author/hub")
+
+// CoauthorConfig scales the synthetic coauthorship graph.
+type CoauthorConfig struct {
+	Papers  int
+	YearMin int // inclusive, default 2010
+	YearMax int // inclusive, default 2021
+	Seed    int64
+	// HubRate is the probability that a paper includes the hub author,
+	// modelling a prolific, central researcher.
+	HubRate float64
+}
+
+// Coauthor is a generated coauthorship corpus. Papers can be sliced by
+// year, mirroring the paper's "increasing slices of DBLP, going backwards
+// in time from 2021 until 2010".
+type Coauthor struct {
+	cfg    CoauthorConfig
+	papers []paperRec
+}
+
+type paperRec struct {
+	id      rdf.Term
+	year    int
+	authors []rdf.Term
+}
+
+// NewCoauthor generates the corpus. Author selection uses preferential
+// attachment, so a few authors (the hub most of all) become highly central,
+// reproducing DBLP's densification around prolific researchers.
+func NewCoauthor(cfg CoauthorConfig) *Coauthor {
+	if cfg.Papers <= 0 {
+		cfg.Papers = 2000
+	}
+	if cfg.YearMin == 0 {
+		cfg.YearMin = 2010
+	}
+	if cfg.YearMax == 0 {
+		cfg.YearMax = 2021
+	}
+	if cfg.HubRate == 0 {
+		cfg.HubRate = 0.03
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Coauthor{cfg: cfg}
+
+	author := func(i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%sauthor/%d", NS, i))
+	}
+	// occurrences implements preferential attachment: each published
+	// authorship makes an author proportionally more likely to publish
+	// again.
+	occurrences := []rdf.Term{author(0), HubAuthor}
+	nextAuthor := 1
+	years := cfg.YearMax - cfg.YearMin + 1
+
+	for i := 0; i < cfg.Papers; i++ {
+		year := cfg.YearMin + rng.Intn(years)
+		k := 1 + rng.Intn(4)
+		seen := map[rdf.Term]bool{}
+		var authors []rdf.Term
+		if rng.Float64() < cfg.HubRate {
+			authors = append(authors, HubAuthor)
+			seen[HubAuthor] = true
+		}
+		for len(authors) < k {
+			var a rdf.Term
+			if rng.Float64() < 0.3 {
+				a = author(nextAuthor)
+				nextAuthor++
+			} else {
+				a = occurrences[rng.Intn(len(occurrences))]
+			}
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			authors = append(authors, a)
+		}
+		occurrences = append(occurrences, authors...)
+		c.papers = append(c.papers, paperRec{
+			id:      rdf.NewIRI(fmt.Sprintf("%spaper/%d", NS, i)),
+			year:    year,
+			authors: authors,
+		})
+	}
+	return c
+}
+
+// Graph materializes the slice of papers with year ≥ fromYear as an RDF
+// graph with authoredBy and year triples.
+func (c *Coauthor) Graph(fromYear int) *rdfgraph.Graph {
+	g := rdfgraph.New()
+	authored := rdf.NewIRI(PropAuthoredBy)
+	yearProp := rdf.NewIRI(PropYear)
+	for _, p := range c.papers {
+		if p.year < fromYear {
+			continue
+		}
+		g.Add(rdf.T(p.id, yearProp, rdf.NewInteger(int64(p.year))))
+		for _, a := range p.authors {
+			g.Add(rdf.T(p.id, authored, a))
+		}
+	}
+	return g
+}
+
+// YearMin returns the earliest generated year.
+func (c *Coauthor) YearMin() int { return c.cfg.YearMin }
+
+// YearMax returns the latest generated year.
+func (c *Coauthor) YearMax() int { return c.cfg.YearMax }
+
+// HubDistance3Shape is the Figure 3 request shape:
+// ≥1 (a⁻/a/a⁻/a/a⁻/a).hasValue(hub) with a = authoredBy. Its fragment
+// contains every authoredBy triple on a coauthorship path of length ≤ 3 to
+// the hub author.
+func HubDistance3Shape() shape.Shape {
+	a := paths.P(PropAuthoredBy)
+	hop := paths.SeqOf(paths.Inv(a), a) // author → paper → coauthor
+	return shape.Min(1, paths.SeqOf(hop, hop, hop), shape.Value(HubAuthor))
+}

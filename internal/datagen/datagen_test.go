@@ -1,0 +1,206 @@
+package datagen_test
+
+import (
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/validator"
+)
+
+func TestTyrolDeterministic(t *testing.T) {
+	g1 := datagen.Tyrol(datagen.TyrolConfig{Individuals: 300, Seed: 1})
+	g2 := datagen.Tyrol(datagen.TyrolConfig{Individuals: 300, Seed: 1})
+	if !g1.Equal(g2) {
+		t.Fatal("same seed must generate the same graph")
+	}
+	g3 := datagen.Tyrol(datagen.TyrolConfig{Individuals: 300, Seed: 2})
+	if g1.Equal(g3) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTyrolDensity(t *testing.T) {
+	n := 500
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: n, Seed: 7})
+	ratio := float64(g.Len()) / float64(n)
+	if ratio < 4 || ratio > 12 {
+		t.Fatalf("triples per individual = %.1f, want roughly 7", ratio)
+	}
+	// All six entity classes must be populated.
+	typ := g.LookupTerm(rdf.NewIRI(rdf.RDFType))
+	classes := map[rdf.Term]int{}
+	for _, e := range g.EdgesByPredicate(typ) {
+		classes[g.Term(e.O)]++
+	}
+	for _, c := range []rdf.Term{
+		datagen.ClassEvent, datagen.ClassHotel, datagen.ClassPlace,
+		datagen.ClassPerson, datagen.ClassOrganization, datagen.ClassReview,
+	} {
+		if classes[c] == 0 {
+			t.Errorf("class %v not populated: %v", c, classes)
+		}
+	}
+}
+
+func TestTyrolHasViolations(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 800, Seed: 3, DirtyRate: 0.1})
+	h := datagen.BenchmarkSchema()
+	report := h.Validate(g)
+	if report.Conforms {
+		t.Fatal("dirty data must produce violations")
+	}
+	v := report.Violations()
+	if len(v) == 0 || len(v) == report.TargetedNodes {
+		t.Fatalf("violations = %d of %d: want a non-trivial mix", len(v), report.TargetedNodes)
+	}
+}
+
+func TestBenchmarkShapesCount(t *testing.T) {
+	defs := datagen.BenchmarkShapes()
+	if len(defs) != 57 {
+		t.Fatalf("benchmark suite has %d shapes, want 57", len(defs))
+	}
+	names := map[string]bool{}
+	for _, d := range defs {
+		if names[d.Name.Value] {
+			t.Fatalf("duplicate shape name %s", d.Name)
+		}
+		names[d.Name.Value] = true
+		if d.Shape == nil || d.Target == nil {
+			t.Fatalf("definition %s incomplete", d.Name)
+		}
+	}
+}
+
+func TestBenchmarkShapesExtractable(t *testing.T) {
+	// Every one of the 57 shapes must validate and extract provenance
+	// without panicking, and extraction must subset the graph.
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 200, Seed: 11})
+	for _, d := range datagen.BenchmarkShapes() {
+		res := validator.Validate(g, schema.MustNew(d), validator.Options{CollectProvenance: true})
+		for _, tr := range res.Fragment {
+			if !g.Has(tr) {
+				t.Fatalf("shape %s extracted non-subgraph triple %v", d.Name, tr)
+			}
+		}
+	}
+}
+
+func TestCoauthorSlices(t *testing.T) {
+	c := datagen.NewCoauthor(datagen.CoauthorConfig{Papers: 500, Seed: 5})
+	full := c.Graph(c.YearMin())
+	recent := c.Graph(2018)
+	if recent.Len() >= full.Len() {
+		t.Fatalf("slice (%d) must be smaller than full (%d)", recent.Len(), full.Len())
+	}
+	if recent.Len() == 0 {
+		t.Fatal("recent slice must be non-empty")
+	}
+	// Slices are monotone: earlier cutoffs contain later ones.
+	if !full.ContainsGraph(recent) {
+		t.Fatal("full graph must contain the slice")
+	}
+	// Hub must be present and prolific.
+	hub := full.LookupTerm(datagen.HubAuthor)
+	if hub == rdfgraph.NoID {
+		t.Fatal("hub author missing")
+	}
+	deg := 0
+	full.PredicatesTo(hub, func(_, _ rdfgraph.ID) { deg++ })
+	if deg < 5 {
+		t.Fatalf("hub degree %d, want a prolific author", deg)
+	}
+}
+
+func TestHubDistance3Fragment(t *testing.T) {
+	c := datagen.NewCoauthor(datagen.CoauthorConfig{Papers: 300, Seed: 9, HubRate: 0.05})
+	g := c.Graph(2016)
+	frag := core.Fragment(g, nil, datagen.HubDistance3Shape())
+	if len(frag) == 0 {
+		t.Fatal("distance-3 fragment must be non-empty")
+	}
+	authored := rdf.NewIRI(datagen.PropAuthoredBy)
+	for _, tr := range frag {
+		if !g.Has(tr) {
+			t.Fatalf("fragment not a subgraph: %v", tr)
+		}
+		if tr.P != authored {
+			t.Fatalf("fragment must contain only authoredBy triples, got %v", tr)
+		}
+	}
+	// The hub's own papers are certainly within distance 3.
+	hubEdges := 0
+	for _, tr := range frag {
+		if tr.O == datagen.HubAuthor {
+			hubEdges++
+		}
+	}
+	if hubEdges == 0 {
+		t.Fatal("fragment must include the hub's authorship triples")
+	}
+}
+
+func TestBenchmarkQueriesSplit(t *testing.T) {
+	qs := datagen.BenchmarkQueries()
+	if len(qs) != 46 {
+		t.Fatalf("suite has %d queries, want 46", len(qs))
+	}
+	expressible := 0
+	for _, q := range qs {
+		if q.Expressible {
+			expressible++
+			if q.Request == nil {
+				t.Errorf("%s expressible but has no request shape", q.Name)
+			}
+			if q.Reason != "" {
+				t.Errorf("%s expressible but has a reason", q.Name)
+			}
+		} else {
+			if q.Request != nil {
+				t.Errorf("%s inexpressible but has a request shape", q.Name)
+			}
+			if q.Reason == "" {
+				t.Errorf("%s inexpressible without reason", q.Name)
+			}
+		}
+		if !strings.HasPrefix(q.SPARQL, "CONSTRUCT WHERE") {
+			t.Errorf("%s SPARQL text malformed: %q", q.Name, q.SPARQL)
+		}
+	}
+	if expressible != 39 {
+		t.Fatalf("%d of 46 expressible, want 39 (as in the paper)", expressible)
+	}
+}
+
+func TestBenchmarkQueriesRunnable(t *testing.T) {
+	// Every expressible query's request shape must compute a fragment that
+	// is a subgraph, and at least half must be non-empty on generated data.
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 400, Seed: 13})
+	x := core.NewExtractor(g, nil)
+	nonEmpty := 0
+	total := 0
+	for _, q := range datagen.BenchmarkQueries() {
+		if !q.Expressible {
+			continue
+		}
+		total++
+		frag := x.Fragment([]shape.Shape{q.Request})
+		for _, tr := range frag {
+			if !g.Has(tr) {
+				t.Fatalf("%s fragment not a subgraph: %v", q.Name, tr)
+			}
+		}
+		if len(frag) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty*2 < total {
+		t.Fatalf("only %d/%d expressible queries returned data; generator and queries mismatch", nonEmpty, total)
+	}
+}

@@ -1,0 +1,225 @@
+package datagen
+
+import (
+	"fmt"
+	"strings"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/shape"
+)
+
+// BenchQuery is one entry of the 46-query benchmark mix standing in for the
+// BSBM and WatDiv suites of Section 4.1: a CONSTRUCT-style subgraph query,
+// together with the request shape expressing it as a shape fragment when
+// one exists (39 of 46, as in the paper).
+type BenchQuery struct {
+	Name   string
+	Source string // query family: "watdiv" (tree BGPs) or "bsbm" (filters, optionals)
+	// SPARQL is the CONSTRUCT WHERE form of the query, for display.
+	SPARQL string
+	// Expressible reports whether the query is expressible as a shape
+	// fragment; Request is the request shape when it is.
+	Expressible bool
+	Request     shape.Shape
+	// Reason explains inexpressibility.
+	Reason string
+}
+
+// qnode is a tree-shaped query pattern: a node with constraints and edges.
+type qnode struct {
+	value    *rdf.Term      // constant required at this node
+	test     shape.NodeTest // filter on this node's value
+	children []qedge
+}
+
+type qedge struct {
+	prop     string
+	inverse  bool
+	optional bool // OPTIONAL { ... }
+	absent   bool // OPTIONAL { ... } FILTER(!bound(...)): property must be absent
+	child    qnode
+}
+
+// shapeOf derives the request shape of a tree query (the Section 4.1
+// simulation): child edges become ≥1/≥0/≤0 quantifiers, node constants
+// become hasValue, filters become node tests.
+func (n qnode) shapeOf() shape.Shape {
+	var conj []shape.Shape
+	if n.value != nil {
+		conj = append(conj, shape.Value(*n.value))
+	}
+	if n.test != nil {
+		conj = append(conj, shape.NodeTestShape(n.test))
+	}
+	for _, e := range n.children {
+		var p paths.Expr = paths.P(e.prop)
+		if e.inverse {
+			p = paths.Inv(p)
+		}
+		sub := e.child.shapeOf()
+		switch {
+		case e.absent:
+			conj = append(conj, shape.Max(0, p, sub))
+		case e.optional:
+			conj = append(conj, shape.Min(0, p, sub))
+		default:
+			conj = append(conj, shape.Min(1, p, sub))
+		}
+	}
+	return shape.AndOf(conj...)
+}
+
+// sparqlOf renders the tree query as CONSTRUCT WHERE text.
+func (n qnode) sparqlOf() string {
+	var b strings.Builder
+	b.WriteString("CONSTRUCT WHERE {\n")
+	counter := 0
+	var walk func(node qnode, v string)
+	walk = func(node qnode, v string) {
+		if node.test != nil {
+			fmt.Fprintf(&b, "  FILTER(%s(%s))\n", node.test, v)
+		}
+		for _, e := range node.children {
+			counter++
+			cv := fmt.Sprintf("?v%d", counter)
+			if e.child.value != nil {
+				cv = e.child.value.String()
+			}
+			line := fmt.Sprintf("%s <%s> %s .", v, e.prop, cv)
+			if e.inverse {
+				line = fmt.Sprintf("%s <%s> %s .", cv, e.prop, v)
+			}
+			switch {
+			case e.absent:
+				fmt.Fprintf(&b, "  OPTIONAL { %s ?flag%d }\n  FILTER(!bound(?flag%d))\n",
+					strings.TrimSuffix(line, " ."), counter, counter)
+			case e.optional:
+				fmt.Fprintf(&b, "  OPTIONAL { %s }\n", line)
+			default:
+				fmt.Fprintf(&b, "  %s\n", line)
+			}
+			walk(e.child, cv)
+		}
+	}
+	root := "?v0"
+	if n.value != nil {
+		root = n.value.String()
+	}
+	walk(n, root)
+	b.WriteString("}")
+	return b.String()
+}
+
+func leaf() qnode                          { return qnode{} }
+func valNode(t rdf.Term) qnode             { return qnode{value: &t} }
+func testNode(nt shape.NodeTest) qnode     { return qnode{test: nt} }
+func edge(p string, c qnode) qedge         { return qedge{prop: p, child: c} }
+func invEdge(p string, c qnode) qedge      { return qedge{prop: p, inverse: true, child: c} }
+func optEdge(p string, c qnode) qedge      { return qedge{prop: p, optional: true, child: c} }
+func absentEdge(p string, c qnode) qedge   { return qedge{prop: p, absent: true, child: c} }
+func tree(children ...qedge) qnode         { return qnode{children: children} }
+func treeAt(v rdf.Term, cs ...qedge) qnode { return qnode{value: &v, children: cs} }
+
+// BenchmarkQueries returns the 46-query mix: 39 expressible as shape
+// fragments, 7 not (variables in the property position, arithmetic) — the
+// same split and the same reasons as the paper's BSBM/WatDiv study.
+func BenchmarkQueries() []BenchQuery {
+	var qs []BenchQuery
+	addTree := func(source string, n qnode) {
+		qs = append(qs, BenchQuery{
+			Name:        fmt.Sprintf("Q%02d", len(qs)+1),
+			Source:      source,
+			SPARQL:      n.sparqlOf(),
+			Expressible: true,
+			Request:     n.shapeOf(),
+		})
+	}
+	addRaw := func(source, sparqlText, reason string) {
+		qs = append(qs, BenchQuery{
+			Name:   fmt.Sprintf("Q%02d", len(qs)+1),
+			Source: source,
+			SPARQL: sparqlText,
+			Reason: reason,
+		})
+	}
+	wifi := rdf.NewString("wifi")
+	pool := rdf.NewString("pool")
+
+	// --- WatDiv-style tree-shaped basic graph patterns (20) ---
+	addTree("watdiv", tree(edge(PropName, leaf())))
+	addTree("watdiv", tree(edge(PropName, leaf()), edge(PropLocation, leaf())))
+	addTree("watdiv", tree(edge(PropLocation, tree(edge(PropPostalCode, leaf())))))
+	addTree("watdiv", tree(edge(PropOrganizer, tree(edge(PropName, leaf()), edge(PropLegalName, leaf())))))
+	addTree("watdiv", tree(edge(PropReview, tree(edge(PropRating, leaf()), edge(PropAuthor, leaf())))))
+	addTree("watdiv", tree(edge(PropReview, tree(edge(PropAuthor, tree(edge(PropEmail, leaf())))))))
+	addTree("watdiv", tree(edge(PropOwner, tree(edge(PropKnows, tree(edge(PropName, leaf())))))))
+	// The paper's WatDiv example: caption + review(title, reviewer ← actor).
+	addTree("watdiv", tree(
+		edge(PropName, leaf()),
+		edge(PropReview, tree(
+			edge(PropText, leaf()),
+			edge(PropAuthor, tree(invEdge(PropOwner, leaf()))),
+		)),
+	))
+	addTree("watdiv", tree(edge(PropLocation, tree(edge(PropInDistrict, tree(edge(PropPostalCode, leaf()))))))) //nolint:lll
+	addTree("watdiv", tree(edge(PropOrganizer, tree(edge(PropSubOrgOf, tree(edge(PropName, leaf())))))))
+	addTree("watdiv", tree(invEdge(PropAuthoredBy, tree(edge(PropYear, leaf())))))
+	addTree("watdiv", tree(edge(PropStartDate, leaf()), edge(PropEndDate, leaf()), edge(PropPrice, leaf())))
+	addTree("watdiv", tree(edge(PropCapacity, leaf()), edge(PropURL, leaf())))
+	addTree("watdiv", tree(edge(PropAmenity, valNode(wifi))))
+	addTree("watdiv", tree(edge(PropAmenity, valNode(wifi)), edge(PropAmenity, valNode(pool))))
+	addTree("watdiv", treeAt(HubAuthor, invEdge(PropAuthoredBy, tree(edge(PropAuthoredBy, leaf())))))
+	addTree("watdiv", tree(edge(PropWorksFor, tree(edge(PropLegalName, leaf()))), edge(PropEmail, leaf())))
+	addTree("watdiv", tree(edge(PropKnows, tree(edge(PropKnows, tree(edge(PropName, leaf())))))))
+	addTree("watdiv", tree(invEdge(PropReview, tree(edge(PropCheckin, leaf())))))
+	addTree("watdiv", tree(edge(PropText, leaf()), edge(PropRating, leaf()), edge(PropAuthor, leaf())))
+
+	// --- BSBM-style queries with filters (9) ---
+	addTree("bsbm", tree(edge(PropName, testNode(shape.HasLang{Tag: "en"}))))
+	addTree("bsbm", tree(edge(PropText, testNode(shape.HasLang{Tag: "de"})), edge(PropRating, leaf())))
+	addTree("bsbm", tree(edge(PropPrice, testNode(shape.MaxExclusive{Bound: rdf.NewInteger(100)}))))
+	addTree("bsbm", tree(edge(PropRating, testNode(shape.MinInclusive{Bound: rdf.NewInteger(4)})),
+		edge(PropAuthor, leaf())))
+	addTree("bsbm", tree(edge(PropPostalCode, testNode(shape.MustPattern(`^60`)))))
+	addTree("bsbm", tree(edge(PropCapacity, testNode(shape.MinExclusive{Bound: rdf.NewInteger(1000)})),
+		edge(PropLocation, tree(edge(PropName, leaf())))))
+	addTree("bsbm", tree(edge(PropEmail, testNode(shape.MustPattern(`@example\.org$`)))))
+	addTree("bsbm", tree(edge(PropName, testNode(shape.MinLength{N: 8}))))
+	addTree("bsbm", tree(edge(PropURL, testNode(shape.MustPattern(`^https://`))),
+		edge(PropOrganizer, leaf())))
+
+	// --- BSBM-style queries with OPTIONAL (6) ---
+	addTree("bsbm", tree(edge(PropName, leaf()), optEdge(PropRating, leaf())))
+	addTree("bsbm", tree(edge(PropText, testNode(shape.HasLang{Tag: "en"})), optEdge(PropRating, leaf())))
+	addTree("bsbm", tree(edge(PropName, leaf()), optEdge(PropReview, tree(edge(PropRating, leaf())))))
+	addTree("bsbm", tree(edge(PropLocation, leaf()), optEdge(PropOrganizer, tree(edge(PropName, leaf())))))
+	addTree("bsbm", tree(edge(PropCheckin, leaf()), optEdge(PropAmenity, leaf())))
+	addTree("bsbm", tree(edge(PropOwner, tree(optEdge(PropKnows, leaf()), edge(PropEmail, leaf())))))
+
+	// --- BSBM-style negated-bound queries: absence of a property (4) ---
+	addTree("bsbm", tree(edge(PropName, leaf()), absentEdge(PropOrganizer, leaf())))
+	addTree("bsbm", tree(edge(PropAmenity, valNode(wifi)), absentEdge(PropAmenity, valNode(pool))))
+	addTree("bsbm", tree(edge(PropRating, leaf()), absentEdge(PropAuthor, leaf())))
+	addTree("bsbm", tree(edge(PropStartDate, leaf()), absentEdge(PropURL, leaf())))
+
+	// --- Inexpressible: variables in the property position (5) ---
+	addRaw("watdiv", "CONSTRUCT WHERE { ?v0 ?p "+HubAuthor.String()+" . }",
+		"variable in property position with constant object")
+	addRaw("watdiv", "CONSTRUCT WHERE { ?v0 ?p ?v0 . }",
+		"variable in property position with repeated subject variable")
+	addRaw("watdiv", "CONSTRUCT WHERE { <"+NS+"event/1> ?p <"+NS+"place/1> . }",
+		"variable in property position between two constants")
+	addRaw("bsbm", "CONSTRUCT WHERE { ?v0 <"+PropName+"> ?n . ?v0 ?p ?n . }",
+		"variable in property position with repeated object variable")
+	addRaw("bsbm", "CONSTRUCT WHERE { ?v0 ?p ?x . ?x ?p ?y . }",
+		"variable in property position shared across triples")
+
+	// --- Inexpressible: arithmetic (2) ---
+	addRaw("bsbm", "CONSTRUCT WHERE { ?v0 <"+PropPrice+"> ?p1 . ?v0 <"+PropCapacity+"> ?c . FILTER(?p1 * 2 > ?c) }",
+		"arithmetic over two property values")
+	addRaw("bsbm", "CONSTRUCT WHERE { ?v0 <"+PropCheckin+"> ?in . ?v0 <"+PropCheckout+"> ?out . FILTER(?out - ?in >= 6) }",
+		"arithmetic over two property values")
+
+	return qs
+}

@@ -1,0 +1,142 @@
+package datagen
+
+import (
+	"fmt"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+// BenchmarkShapes returns the 57 benchmark shape definitions standing in
+// for the Schaffenrath et al. performance suite the paper reuses. They are
+// organized in the same constraint families: cardinality, value type,
+// value range, string-based, language, property pair, closedness/value,
+// logic, qualified shapes, property paths, and the "existential with many
+// targets and large neighborhoods" family the paper singles out as the
+// high-overhead cases.
+func BenchmarkShapes() []schema.Definition {
+	p := func(name string) paths.Expr { return paths.P(name) }
+	t := shape.TrueShape()
+	var defs []schema.Definition
+	add := func(s shape.Shape, target shape.Shape) {
+		defs = append(defs, schema.Definition{
+			Name:   rdf.NewIRI(fmt.Sprintf("%sshape/S%02d", NS, len(defs)+1)),
+			Shape:  s,
+			Target: target,
+		})
+	}
+	events := schema.TargetClass(ClassEvent)
+	lodgings := schema.TargetClass(ClassLodging)
+	places := schema.TargetClass(ClassPlace)
+	persons := schema.TargetClass(ClassPerson)
+	orgs := schema.TargetClass(ClassOrganization)
+	reviews := schema.TargetClass(ClassReview)
+
+	// --- Cardinality (8) ---
+	add(shape.Min(1, p(PropName), t), events)
+	add(shape.Min(2, p(PropName), t), events)
+	add(shape.Max(2, p(PropName), t), events)
+	add(shape.Min(1, p(PropStartDate), t), events)
+	add(shape.AndOf(shape.Min(1, p(PropCheckin), t), shape.Max(1, p(PropCheckin), t)), lodgings)
+	add(shape.Min(1, p(PropRating), t), reviews)
+	add(shape.Max(5, p(PropAmenity), t), lodgings)
+	add(shape.Min(1, p(PropLocation), t), events)
+
+	// --- Value type: datatype / nodeKind / class (6) ---
+	add(shape.All(p(PropRating), shape.NodeTestShape(shape.Datatype{IRI: rdf.XSDInteger})), reviews)
+	add(shape.All(p(PropPrice), shape.NodeTestShape(shape.Datatype{IRI: rdf.XSDDecimal})), events)
+	add(shape.All(p(PropStartDate), shape.NodeTestShape(shape.Datatype{IRI: rdf.XSDDateTime})), events)
+	add(shape.All(p(PropOrganizer), shape.NodeTestShape(shape.IsIRI{})), events)
+	add(shape.All(p(PropName), shape.NodeTestShape(shape.IsLiteral{})), lodgings)
+	add(shape.All(p(PropOrganizer), schema.TargetClass(ClassOrganization)), events)
+
+	// --- Value range (6) ---
+	add(shape.All(p(PropRating), shape.NodeTestShape(shape.MinInclusive{Bound: rdf.NewInteger(1)})), reviews)
+	add(shape.All(p(PropRating), shape.NodeTestShape(shape.MaxInclusive{Bound: rdf.NewInteger(5)})), reviews)
+	add(shape.All(p(PropPrice), shape.NodeTestShape(shape.MinInclusive{Bound: rdf.NewInteger(0)})), events)
+	add(shape.All(p(PropPrice), shape.NodeTestShape(shape.MaxExclusive{Bound: rdf.NewInteger(1000)})), events)
+	add(shape.All(p(PropCapacity), shape.NodeTestShape(shape.MinExclusive{Bound: rdf.NewInteger(0)})), events)
+	add(shape.AndOf(
+		shape.All(p(PropCheckin), shape.NodeTestShape(shape.MinInclusive{Bound: rdf.NewInteger(0)})),
+		shape.All(p(PropCheckout), shape.NodeTestShape(shape.MaxInclusive{Bound: rdf.NewInteger(24)})),
+	), lodgings)
+
+	// --- String-based (5) ---
+	add(shape.All(p(PropPostalCode), shape.NodeTestShape(shape.MustPattern(`^[0-9]{4}$`))), places)
+	add(shape.All(p(PropEmail), shape.NodeTestShape(shape.MustPattern(`^[^@ ]+@[^@ ]+$`))), persons)
+	add(shape.All(p(PropURL), shape.NodeTestShape(shape.MustPattern(`^https?://`))), events)
+	add(shape.All(p(PropName), shape.NodeTestShape(shape.MinLength{N: 3})), events)
+	add(shape.All(p(PropLegalName), shape.NodeTestShape(shape.MaxLength{N: 60})), orgs)
+
+	// --- Language (4) ---
+	add(shape.UniqueLangShape(p(PropName)), events)
+	add(shape.UniqueLangShape(p(PropName)), lodgings)
+	add(shape.All(p(PropText), shape.OrOf(
+		shape.NodeTestShape(shape.HasLang{Tag: "de"}),
+		shape.NodeTestShape(shape.HasLang{Tag: "en"}),
+		shape.NodeTestShape(shape.HasLang{Tag: "it"}),
+	)), reviews)
+	add(shape.Min(1, p(PropName), shape.NodeTestShape(shape.HasLang{Tag: "en"})), events)
+
+	// --- Property pair (5) ---
+	add(shape.Less(p(PropCheckin), PropCheckout), lodgings)
+	add(shape.LessEq(p(PropStartDate), PropEndDate), events)
+	add(shape.EqPath(p(PropAlias), PropLegalName), schema.TargetSubjectsOf(PropAlias))
+	add(shape.DisjPath(p(PropName), PropLegalName), orgs)
+	add(shape.DisjPath(p(PropOwner), PropReview), lodgings)
+
+	// --- Closedness / hasValue / in (4) ---
+	add(shape.ClosedShape(rdf.RDFType, PropName, PropStartDate, PropEndDate, PropOrganizer,
+		PropLocation, PropPrice, PropCapacity, PropURL), events)
+	add(shape.ClosedShape(rdf.RDFType, PropRating, PropAuthor, PropText), reviews)
+	add(shape.All(p(PropAmenity), shape.OrOf(
+		shape.Value(rdf.NewString("wifi")), shape.Value(rdf.NewString("parking")),
+		shape.Value(rdf.NewString("sauna")), shape.Value(rdf.NewString("pool")),
+	)), lodgings)
+	add(shape.Min(1, p(PropAmenity), shape.Value(rdf.NewString("wifi"))), lodgings)
+
+	// --- Logic (6) ---
+	add(shape.AndOf(shape.Min(1, p(PropName), t), shape.Min(1, p(PropLocation), t)), lodgings)
+	add(shape.OrOf(shape.Min(1, p(PropOrganizer), t), shape.Min(1, p(PropOwner), t)),
+		schema.TargetClass(ClassEvent))
+	add(shape.Neg(shape.Min(1, p(NS+"deprecated"), t)), events)
+	add(shape.OrOf(
+		shape.AndOf(shape.Min(1, p(PropCheckin), t), shape.Neg(shape.Min(1, p(PropStartDate), t))),
+		shape.AndOf(shape.Min(1, p(PropStartDate), t), shape.Neg(shape.Min(1, p(PropCheckin), t))),
+	), lodgings) // xone over checkin/startDate
+	add(shape.Neg(shape.AndOf(shape.Min(1, p(PropPrice), shape.NodeTestShape(shape.MinExclusive{Bound: rdf.NewInteger(400)})),
+		shape.Max(0, p(PropOrganizer), t))), events)
+	add(shape.AndOf(shape.Min(1, p(PropRating), t),
+		shape.Neg(shape.Min(1, p(PropRating), shape.NodeTestShape(shape.MinExclusive{Bound: rdf.NewInteger(5)})))), reviews)
+
+	// --- Qualified / nested shapes (6) ---
+	add(shape.Min(1, p(PropOrganizer), shape.Min(1, p(PropName), t)), events)
+	add(shape.Min(1, p(PropReview), shape.Min(1, p(PropAuthor), t)), lodgings)
+	add(shape.Max(2, p(PropReview), shape.Min(1, p(PropRating),
+		shape.NodeTestShape(shape.MaxInclusive{Bound: rdf.NewInteger(2)}))), lodgings)
+	add(shape.Min(1, p(PropLocation), shape.Min(1, p(PropPostalCode), t)), events)
+	add(shape.All(p(PropReview), shape.AndOf(
+		shape.Min(1, p(PropRating), t), shape.Min(1, p(PropAuthor), t))), lodgings)
+	add(shape.Min(1, p(PropOwner), shape.Min(1, p(PropEmail), t)), lodgings)
+
+	// --- Property paths (5) ---
+	add(shape.Min(1, paths.Inv(p(PropReview)), t), reviews) // every review is referenced
+	add(shape.Min(1, paths.SeqOf(p(PropLocation), p(PropPostalCode)), t), events)
+	add(shape.All(paths.Star{X: p(PropInDistrict)}, shape.Min(1, p(PropPostalCode), t)), places)
+	add(shape.Min(1, paths.SeqOf(p(PropOrganizer), paths.Star{X: p(PropSubOrgOf)}), t), events)
+	add(shape.All(paths.SeqOf(p(PropOwner), p(PropKnows)), shape.Min(1, p(PropName), t)), lodgings)
+
+	// --- Existential shapes with many targets and large neighborhoods (2):
+	// the paper's highest-overhead family.
+	add(shape.Min(1, p(PropName), t), schema.TargetSubjectsOf(PropName))
+	add(shape.Min(1, paths.Star{X: p(PropKnows)}, shape.Min(1, p(PropWorksFor), t)), persons)
+
+	return defs
+}
+
+// BenchmarkSchema wraps the 57 definitions in a single schema.
+func BenchmarkSchema() *schema.Schema {
+	return schema.MustNew(BenchmarkShapes()...)
+}

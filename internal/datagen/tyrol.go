@@ -1,0 +1,251 @@
+// Package datagen generates the synthetic workloads standing in for the
+// paper's evaluation assets (see DESIGN.md, "Substitutions"): a
+// schema.org-flavoured tourism knowledge graph replacing the Tyrolean
+// Knowledge Graph, the 57 benchmark shapes replacing the Schaffenrath et
+// al. suite, a preferential-attachment coauthorship graph replacing DBLP,
+// and a 46-query benchmark mix replacing BSBM/WatDiv.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+)
+
+// NS is the namespace of the synthetic tourism vocabulary.
+const NS = "http://tyrol.example/"
+
+// Vocabulary IRIs.
+var (
+	ClassEvent        = rdf.NewIRI(NS + "Event")
+	ClassLodging      = rdf.NewIRI(NS + "Lodging")
+	ClassHotel        = rdf.NewIRI(NS + "Hotel")
+	ClassHostel       = rdf.NewIRI(NS + "Hostel")
+	ClassPlace        = rdf.NewIRI(NS + "Place")
+	ClassPerson       = rdf.NewIRI(NS + "Person")
+	ClassOrganization = rdf.NewIRI(NS + "Organization")
+	ClassReview       = rdf.NewIRI(NS + "Review")
+
+	PropName       = NS + "name"
+	PropStartDate  = NS + "startDate"
+	PropEndDate    = NS + "endDate"
+	PropOrganizer  = NS + "organizer"
+	PropLocation   = NS + "location"
+	PropPrice      = NS + "price"
+	PropCapacity   = NS + "capacity"
+	PropURL        = NS + "url"
+	PropRating     = NS + "rating"
+	PropCheckin    = NS + "checkinHour"
+	PropCheckout   = NS + "checkoutHour"
+	PropAmenity    = NS + "amenity"
+	PropOwner      = NS + "owner"
+	PropReview     = NS + "review"
+	PropPostalCode = NS + "postalCode"
+	PropInDistrict = NS + "inDistrict"
+	PropEmail      = NS + "email"
+	PropWorksFor   = NS + "worksFor"
+	PropKnows      = NS + "knows"
+	PropLegalName  = NS + "legalName"
+	PropSubOrgOf   = NS + "subOrganizationOf"
+	PropAuthor     = NS + "author"
+	PropText       = NS + "text"
+	PropAlias      = NS + "alias"
+)
+
+// TyrolConfig scales the synthetic tourism graph. Individuals is the number
+// of entity nodes; the triple count is roughly 7× that, mirroring the
+// density of the paper's induced subgraphs (50K individuals ≈ 1.5M triples
+// there; defaults here are laptop-scale).
+type TyrolConfig struct {
+	Individuals int
+	Seed        int64
+	// DirtyRate is the fraction of entities given constraint-violating
+	// data, so validation reports and why-not provenance are non-trivial.
+	DirtyRate float64
+}
+
+// Tyrol generates the synthetic tourism knowledge graph.
+func Tyrol(cfg TyrolConfig) *rdfgraph.Graph {
+	if cfg.Individuals <= 0 {
+		cfg.Individuals = 1000
+	}
+	if cfg.DirtyRate == 0 {
+		cfg.DirtyRate = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdfgraph.New()
+	typ := rdf.NewIRI(rdf.RDFType)
+
+	// Static class hierarchy.
+	sub := rdf.NewIRI(rdf.RDFSSubClassOf)
+	g.Add(rdf.T(ClassHotel, sub, ClassLodging))
+	g.Add(rdf.T(ClassHostel, sub, ClassLodging))
+
+	n := cfg.Individuals
+	counts := map[string]int{
+		"event":   n * 30 / 100,
+		"lodging": n * 20 / 100,
+		"place":   n * 15 / 100,
+		"person":  n * 15 / 100,
+		"org":     n * 8 / 100,
+		"review":  n * 12 / 100,
+	}
+	node := func(kind string, i int) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%s%s/%d", NS, kind, i))
+	}
+	pick := func(kind string) rdf.Term {
+		return node(kind, rng.Intn(max(1, counts[kind])))
+	}
+	dirty := func() bool { return rng.Float64() < cfg.DirtyRate }
+	langName := func(s rdf.Term, base string, i int) {
+		name := fmt.Sprintf("%s %d", base, i)
+		switch {
+		case dirty():
+			// Duplicate language tag: violates uniqueLang.
+			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "de")))
+			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name+" alt", "de")))
+		case dirty():
+			// Missing entirely: violates minCount.
+		default:
+			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "de")))
+			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "en")))
+		}
+	}
+
+	// Places form a district tree, exercised by zeroOrMore paths.
+	for i := 0; i < counts["place"]; i++ {
+		s := node("place", i)
+		g.Add(rdf.T(s, typ, ClassPlace))
+		langName(s, "Place", i)
+		code := fmt.Sprintf("%04d", 6000+rng.Intn(999))
+		if dirty() {
+			code = "A" + code // violates the postal code pattern
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropPostalCode), rdf.NewString(code)))
+		if i > 0 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropInDistrict), node("place", rng.Intn(i))))
+		}
+	}
+
+	for i := 0; i < counts["org"]; i++ {
+		s := node("org", i)
+		g.Add(rdf.T(s, typ, ClassOrganization))
+		langName(s, "Org", i)
+		legal := rdf.NewString(fmt.Sprintf("Org %d GmbH", i))
+		g.Add(rdf.T(s, rdf.NewIRI(PropLegalName), legal))
+		if rng.Float64() < 0.5 {
+			// alias equals legalName for equals-constraints (dirty: differs).
+			if dirty() {
+				g.Add(rdf.T(s, rdf.NewIRI(PropAlias), rdf.NewString("Wrong Alias")))
+			} else {
+				g.Add(rdf.T(s, rdf.NewIRI(PropAlias), legal))
+			}
+		}
+		if i > 0 && rng.Float64() < 0.6 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropSubOrgOf), node("org", rng.Intn(i))))
+		}
+	}
+
+	for i := 0; i < counts["person"]; i++ {
+		s := node("person", i)
+		g.Add(rdf.T(s, typ, ClassPerson))
+		langName(s, "Person", i)
+		email := fmt.Sprintf("person%d@example.org", i)
+		if dirty() {
+			email = "not-an-email"
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropEmail), rdf.NewString(email)))
+		if counts["org"] > 0 && rng.Float64() < 0.7 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropWorksFor), pick("org")))
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			g.Add(rdf.T(s, rdf.NewIRI(PropKnows), pick("person")))
+		}
+	}
+
+	for i := 0; i < counts["review"]; i++ {
+		s := node("review", i)
+		g.Add(rdf.T(s, typ, ClassReview))
+		rating := int64(1 + rng.Intn(5))
+		if dirty() {
+			rating = 9 // out of range
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropRating), rdf.NewInteger(rating)))
+		if counts["person"] > 0 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropAuthor), pick("person")))
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropText),
+			rdf.NewLangString(fmt.Sprintf("review text %d", i), []string{"de", "en", "it"}[rng.Intn(3)])))
+	}
+
+	for i := 0; i < counts["lodging"]; i++ {
+		s := node("lodging", i)
+		if rng.Float64() < 0.6 {
+			g.Add(rdf.T(s, typ, ClassHotel))
+		} else {
+			g.Add(rdf.T(s, typ, ClassHostel))
+		}
+		langName(s, "Lodging", i)
+		if counts["place"] > 0 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropLocation), pick("place")))
+		}
+		in, out := int64(10+rng.Intn(5)), int64(15+rng.Intn(8))
+		if dirty() {
+			in, out = out+1, in // checkin after checkout: violates lessThan
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropCheckin), rdf.NewInteger(in)))
+		g.Add(rdf.T(s, rdf.NewIRI(PropCheckout), rdf.NewInteger(out)))
+		for k := rng.Intn(3); k > 0; k-- {
+			g.Add(rdf.T(s, rdf.NewIRI(PropAmenity),
+				rdf.NewString([]string{"wifi", "parking", "sauna", "pool"}[rng.Intn(4)])))
+		}
+		if counts["person"] > 0 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropOwner), pick("person")))
+		}
+		for k := rng.Intn(4); k > 0; k-- {
+			g.Add(rdf.T(s, rdf.NewIRI(PropReview), pick("review")))
+		}
+	}
+
+	for i := 0; i < counts["event"]; i++ {
+		s := node("event", i)
+		g.Add(rdf.T(s, typ, ClassEvent))
+		langName(s, "Event", i)
+		day := 1 + rng.Intn(27)
+		month := 1 + rng.Intn(12)
+		start := fmt.Sprintf("2022-%02d-%02dT10:00:00Z", month, day)
+		end := fmt.Sprintf("2022-%02d-%02dT18:00:00Z", month, day)
+		if dirty() {
+			start, end = end, start // event ends before it starts
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropStartDate), rdf.NewTypedLiteral(start, rdf.XSDDateTime)))
+		g.Add(rdf.T(s, rdf.NewIRI(PropEndDate), rdf.NewTypedLiteral(end, rdf.XSDDateTime)))
+		if counts["org"] > 0 && rng.Float64() < 0.85 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropOrganizer), pick("org")))
+		}
+		if counts["place"] > 0 {
+			g.Add(rdf.T(s, rdf.NewIRI(PropLocation), pick("place")))
+		}
+		price := float64(rng.Intn(5000)) / 10
+		if dirty() {
+			price = -5
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropPrice), rdf.NewDecimal(price)))
+		g.Add(rdf.T(s, rdf.NewIRI(PropCapacity), rdf.NewInteger(int64(10+rng.Intn(5000)))))
+		url := fmt.Sprintf("https://tyrol.example/events/%d", i)
+		if dirty() {
+			url = "no scheme at all"
+		}
+		g.Add(rdf.T(s, rdf.NewIRI(PropURL), rdf.NewString(url)))
+	}
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

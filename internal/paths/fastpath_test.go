@@ -1,0 +1,67 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+)
+
+// The atomic fast path (plain property, inverse property) must agree with
+// the generic product-automaton machinery. Alt{p, p} denotes the same
+// relation as p but compiles to an NFA, so comparing the two evaluators
+// exercises both code paths on identical semantics.
+func TestAtomicFastPathMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 80; trial++ {
+		g := randomGraph(rng, 6, 12)
+		for _, name := range []string{"p", "q"} {
+			prop := P(base + name)
+			fast := NewEvaluator(prop, g)
+			slow := NewEvaluator(Alt{Left: prop, Right: prop}, g)
+			fastInv := NewEvaluator(Inv(prop), g)
+			slowInv := NewEvaluator(Alt{Left: Inv(prop), Right: Inv(prop)}, g)
+			for _, a := range g.NodeIDs() {
+				if !sameIDs(fast.Eval(a), slow.Eval(a)) {
+					t.Fatalf("trial %d: Eval(%s) fast/generic mismatch at %v", trial, name, g.Term(a))
+				}
+				if !sameIDs(fastInv.Eval(a), slowInv.Eval(a)) {
+					t.Fatalf("trial %d: inverse Eval(%s) mismatch at %v", trial, name, g.Term(a))
+				}
+				targets := fast.Eval(a)
+				if !sameTriples(fast.TraceUnion(a, targets), slow.TraceUnion(a, targets)) {
+					t.Fatalf("trial %d: TraceUnion(%s) mismatch at %v", trial, name, g.Term(a))
+				}
+				invTargets := fastInv.Eval(a)
+				if !sameTriples(fastInv.TraceUnion(a, invTargets), slowInv.TraceUnion(a, invTargets)) {
+					t.Fatalf("trial %d: inverse TraceUnion(%s) mismatch at %v", trial, name, g.Term(a))
+				}
+			}
+		}
+	}
+}
+
+func sameIDs(a, b []rdfgraph.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameTriples(a, b []rdf.Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

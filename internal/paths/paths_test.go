@@ -1,0 +1,422 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/turtle"
+)
+
+const base = "http://x/"
+
+func iri(s string) rdf.Term { return rdf.NewIRI(base + s) }
+
+func mustGraph(t *testing.T, src string) *rdfgraph.Graph {
+	t.Helper()
+	g, err := turtle.Parse("@prefix ex: <" + base + "> .\n" + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func evalTerms(t *testing.T, g *rdfgraph.Graph, expr string, from string) map[string]bool {
+	t.Helper()
+	e, err := Parse(expr, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool)
+	for _, term := range Eval(e, g, iri(from)) {
+		out[term.Value] = true
+	}
+	return out
+}
+
+func TestEvalProp(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b , ex:c . ex:b ex:p ex:d .`)
+	got := evalTerms(t, g, "p", "a")
+	if len(got) != 2 || !got[base+"b"] || !got[base+"c"] {
+		t.Errorf("Eval(p, a) = %v", got)
+	}
+}
+
+func TestEvalInverse(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:c ex:p ex:b .`)
+	got := evalTerms(t, g, "^p", "b")
+	if len(got) != 2 || !got[base+"a"] || !got[base+"c"] {
+		t.Errorf("Eval(^p, b) = %v", got)
+	}
+}
+
+func TestEvalSeq(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:b ex:q ex:c . ex:a ex:q ex:z .`)
+	got := evalTerms(t, g, "p/q", "a")
+	if len(got) != 1 || !got[base+"c"] {
+		t.Errorf("Eval(p/q, a) = %v", got)
+	}
+}
+
+func TestEvalAlt(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:a ex:q ex:c .`)
+	got := evalTerms(t, g, "p|q", "a")
+	if len(got) != 2 || !got[base+"b"] || !got[base+"c"] {
+		t.Errorf("Eval(p|q, a) = %v", got)
+	}
+}
+
+func TestEvalStarIncludesSelf(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:b ex:p ex:c .`)
+	got := evalTerms(t, g, "p*", "a")
+	if len(got) != 3 || !got[base+"a"] || !got[base+"b"] || !got[base+"c"] {
+		t.Errorf("Eval(p*, a) = %v", got)
+	}
+	// Star includes the source even for nodes not in the graph at all.
+	got = evalTerms(t, g, "p*", "isolated")
+	if len(got) != 1 || !got[base+"isolated"] {
+		t.Errorf("Eval(p*, isolated) = %v", got)
+	}
+}
+
+func TestEvalStarCycle(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:b ex:p ex:a . ex:b ex:p ex:c .`)
+	got := evalTerms(t, g, "p*", "a")
+	if len(got) != 3 {
+		t.Errorf("Eval(p*, a) over cycle = %v", got)
+	}
+}
+
+func TestEvalZeroOrOne(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	got := evalTerms(t, g, "p?", "a")
+	if len(got) != 2 || !got[base+"a"] || !got[base+"b"] {
+		t.Errorf("Eval(p?, a) = %v", got)
+	}
+}
+
+func TestEvalInverseOfSeq(t *testing.T) {
+	// (p/q)⁻ from c should reach a when a -p-> b -q-> c.
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:b ex:q ex:c .`)
+	got := evalTerms(t, g, "(p/q)-", "c")
+	if len(got) != 1 || !got[base+"a"] {
+		t.Errorf("Eval((p/q)-, c) = %v", got)
+	}
+	// Double inversion cancels.
+	got = evalTerms(t, g, "((p/q)-)-", "a")
+	if len(got) != 1 || !got[base+"c"] {
+		t.Errorf("Eval(((p/q)-)-, a) = %v", got)
+	}
+}
+
+func TestEvalMissingProperty(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	if got := evalTerms(t, g, "nosuch", "a"); len(got) != 0 {
+		t.Errorf("missing property should evaluate empty, got %v", got)
+	}
+	// But nosuch* still contains the identity pair.
+	if got := evalTerms(t, g, "nosuch*", "a"); len(got) != 1 || !got[base+"a"] {
+		t.Errorf("nosuch* should contain identity, got %v", got)
+	}
+}
+
+func TestTraceSingleEdge(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:a ex:p ex:c .`)
+	ts := Trace(P(base+"p"), g, iri("a"), iri("b"))
+	if len(ts) != 1 || ts[0] != rdf.T(iri("a"), iri("p"), iri("b")) {
+		t.Errorf("Trace(p, a, b) = %v", ts)
+	}
+}
+
+func TestTraceDiamond(t *testing.T) {
+	// Two disjoint p/q paths from a to d; both must be traced.
+	g := mustGraph(t, `
+ex:a ex:p ex:b1 . ex:b1 ex:q ex:d .
+ex:a ex:p ex:b2 . ex:b2 ex:q ex:d .
+ex:a ex:p ex:other .
+`)
+	ts := Trace(MustParse("p/q", base), g, iri("a"), iri("d"))
+	if len(ts) != 4 {
+		t.Fatalf("Trace(p/q, a, d) = %v, want 4 triples", ts)
+	}
+	for _, tr := range ts {
+		if tr.O == iri("other") {
+			t.Errorf("dead-end edge must not be traced: %v", ts)
+		}
+	}
+}
+
+func TestTraceStarZeroLength(t *testing.T) {
+	// paths(E*, G, a, a) via zero length traces nothing, but a loop back to
+	// a traces the whole cycle.
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	ts := Trace(Star{X: P(base + "p")}, g, iri("a"), iri("a"))
+	if len(ts) != 0 {
+		t.Errorf("zero-length star trace should be empty, got %v", ts)
+	}
+	g2 := mustGraph(t, `ex:a ex:p ex:b . ex:b ex:p ex:a . ex:z ex:p ex:a .`)
+	ts2 := Trace(Star{X: P(base + "p")}, g2, iri("a"), iri("a"))
+	if len(ts2) != 2 {
+		t.Errorf("cycle trace = %v, want the 2 cycle edges", ts2)
+	}
+}
+
+func TestTraceStarThroughCycle(t *testing.T) {
+	// a -p-> b -p-> c with a detour cycle b -p-> x -p-> b. All these edges
+	// lie on *some* accepting p* walk from a to c.
+	g := mustGraph(t, `
+ex:a ex:p ex:b . ex:b ex:p ex:c .
+ex:b ex:p ex:x . ex:x ex:p ex:b .
+ex:dead ex:p ex:deader .
+`)
+	ts := Trace(Star{X: P(base + "p")}, g, iri("a"), iri("c"))
+	if len(ts) != 4 {
+		t.Fatalf("Trace(p*, a, c) = %v, want 4 triples", ts)
+	}
+	for _, tr := range ts {
+		if tr.S == iri("dead") {
+			t.Errorf("disconnected edge traced: %v", tr)
+		}
+	}
+}
+
+func TestTraceInverse(t *testing.T) {
+	g := mustGraph(t, `ex:b ex:p ex:a .`)
+	ts := Trace(Inv(P(base+"p")), g, iri("a"), iri("b"))
+	// The traced graph contains the underlying forward triple.
+	if len(ts) != 1 || ts[0] != rdf.T(iri("b"), iri("p"), iri("a")) {
+		t.Errorf("Trace(^p, a, b) = %v", ts)
+	}
+}
+
+func TestTraceUnionMergesTargets(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b . ex:a ex:p ex:c . ex:a ex:p ex:d .`)
+	ev := NewEvaluator(P(base+"p"), g)
+	targets := []rdfgraph.ID{g.TermID(iri("b")), g.TermID(iri("c"))}
+	ts := ev.TraceUnion(g.TermID(iri("a")), targets)
+	if len(ts) != 2 {
+		t.Errorf("TraceUnion = %v, want 2 triples", ts)
+	}
+}
+
+func TestTraceNoPath(t *testing.T) {
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	if ts := Trace(P(base+"p"), g, iri("b"), iri("a")); len(ts) != 0 {
+		t.Errorf("no-path trace should be empty, got %v", ts)
+	}
+}
+
+// naiveRelation computes ⟦E⟧G over the node set by structural recursion and
+// fixpoint, as a test oracle for the NFA evaluator.
+func naiveRelation(e Expr, g *rdfgraph.Graph, nodes []rdfgraph.ID) map[[2]rdfgraph.ID]bool {
+	rel := make(map[[2]rdfgraph.ID]bool)
+	switch x := e.(type) {
+	case Prop:
+		p := g.LookupTerm(rdf.NewIRI(x.IRI))
+		if p == rdfgraph.NoID {
+			return rel
+		}
+		for _, edge := range g.EdgesByPredicate(p) {
+			rel[[2]rdfgraph.ID{edge.S, edge.O}] = true
+		}
+	case Inverse:
+		for pair := range naiveRelation(x.X, g, nodes) {
+			rel[[2]rdfgraph.ID{pair[1], pair[0]}] = true
+		}
+	case Seq:
+		left := naiveRelation(x.Left, g, nodes)
+		right := naiveRelation(x.Right, g, nodes)
+		for l := range left {
+			for r := range right {
+				if l[1] == r[0] {
+					rel[[2]rdfgraph.ID{l[0], r[1]}] = true
+				}
+			}
+		}
+	case Alt:
+		for pair := range naiveRelation(x.Left, g, nodes) {
+			rel[pair] = true
+		}
+		for pair := range naiveRelation(x.Right, g, nodes) {
+			rel[pair] = true
+		}
+	case Star:
+		inner := naiveRelation(x.X, g, nodes)
+		for _, n := range nodes {
+			rel[[2]rdfgraph.ID{n, n}] = true
+		}
+		for pair := range inner {
+			rel[pair] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for a := range rel {
+				for b := range inner {
+					if a[1] == b[0] {
+						k := [2]rdfgraph.ID{a[0], b[1]}
+						if !rel[k] {
+							rel[k] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	case ZeroOrOne:
+		for _, n := range nodes {
+			rel[[2]rdfgraph.ID{n, n}] = true
+		}
+		for pair := range naiveRelation(x.X, g, nodes) {
+			rel[pair] = true
+		}
+	}
+	return rel
+}
+
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	props := []string{"p", "q", "r"}
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return P(base + props[rng.Intn(len(props))])
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return Inv(randomExpr(rng, depth-1))
+	case 1:
+		return Seq{Left: randomExpr(rng, depth-1), Right: randomExpr(rng, depth-1)}
+	case 2:
+		return Alt{Left: randomExpr(rng, depth-1), Right: randomExpr(rng, depth-1)}
+	case 3:
+		return Star{X: randomExpr(rng, depth-1)}
+	default:
+		return ZeroOrOne{X: randomExpr(rng, depth-1)}
+	}
+}
+
+func randomGraph(rng *rand.Rand, nodes, edges int) *rdfgraph.Graph {
+	g := rdfgraph.New()
+	props := []string{"p", "q", "r"}
+	for i := 0; i < edges; i++ {
+		s := iri(string(rune('a' + rng.Intn(nodes))))
+		o := iri(string(rune('a' + rng.Intn(nodes))))
+		p := iri(props[rng.Intn(len(props))])
+		g.Add(rdf.T(s, p, o))
+	}
+	return g
+}
+
+// Property: the NFA evaluator agrees with the naive fixpoint semantics on
+// random graphs and random expressions.
+func TestEvalAgainstNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 5, 8)
+		e := randomExpr(rng, 3)
+		nodes := g.NodeIDs()
+		oracle := naiveRelation(e, g, nodes)
+		ev := NewEvaluator(e, g)
+		for _, a := range nodes {
+			got := make(map[rdfgraph.ID]bool)
+			for _, b := range ev.Eval(a) {
+				got[b] = true
+			}
+			for _, b := range nodes {
+				want := oracle[[2]rdfgraph.ID{a, b}]
+				if got[b] != want {
+					t.Fatalf("trial %d: expr %s: (%v,%v): NFA=%v oracle=%v\ngraph:\n%s",
+						trial, e, g.Term(a), g.Term(b), got[b], want, turtle.FormatGraph(g))
+				}
+			}
+		}
+	}
+}
+
+// Property (Proposition 3.1): for F = graph(paths(E,G,a,b)),
+// (a,b) ∈ ⟦E⟧G ⇔ (a,b) ∈ ⟦E⟧F, and F ⊆ G.
+func TestTraceProposition31(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		g := randomGraph(rng, 5, 8)
+		e := randomExpr(rng, 3)
+		ev := NewEvaluator(e, g)
+		nodes := g.NodeIDs()
+		for _, a := range nodes {
+			results := ev.Eval(a)
+			for _, b := range results {
+				traced := ev.Trace(a, b)
+				f := rdfgraph.FromTriples(traced)
+				for _, tr := range traced {
+					if !g.Has(tr) {
+						t.Fatalf("trace produced a triple outside G: %v", tr)
+					}
+				}
+				fa := f.TermID(g.Term(a))
+				fb := f.TermID(g.Term(b))
+				fev := NewEvaluator(e, f)
+				if !fev.Holds(fa, fb) {
+					t.Fatalf("trial %d: Prop 3.1 violated for %s from %v to %v\ntrace: %v",
+						trial, e, g.Term(a), g.Term(b), traced)
+				}
+			}
+		}
+	}
+}
+
+func TestParseRendersAndRoundTrips(t *testing.T) {
+	cases := []string{
+		"p", "^p", "p/q", "p|q", "p*", "p?", "(p/q)*",
+		"^(p|q)/r", "p/q/r", "((p-)-)?",
+	}
+	for _, src := range cases {
+		e, err := Parse(src, base)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		rendered := e.String()
+		e2, err := Parse(rendered, "")
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", rendered, err)
+			continue
+		}
+		if !Equal(e, e2) {
+			t.Errorf("round trip %q -> %q changed structure", src, rendered)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"", "(p", "p|", "p/", "<unterminated", "^", "p)q"} {
+		if _, err := Parse(src, base); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCanBeEmpty(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"p", false}, {"p*", true}, {"p?", true}, {"p/q", false},
+		{"p*/q*", true}, {"p|q*", true}, {"^(p?)", true}, {"p/q*", false},
+	}
+	for _, c := range cases {
+		if got := CanBeEmpty(MustParse(c.src, base)); got != c.want {
+			t.Errorf("CanBeEmpty(%s) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestProperties(t *testing.T) {
+	e := MustParse("p/(q|^r)*", base)
+	props := Properties(e)
+	if len(props) != 3 {
+		t.Errorf("Properties = %v", props)
+	}
+	for _, name := range []string{"p", "q", "r"} {
+		if _, ok := props[base+name]; !ok {
+			t.Errorf("missing property %s", name)
+		}
+	}
+}

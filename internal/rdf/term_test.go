@@ -1,0 +1,264 @@
+package rdf
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	iri := NewIRI("http://example.org/a")
+	if !iri.IsIRI() || iri.IsBlank() || iri.IsLiteral() {
+		t.Fatalf("IRI kind flags wrong: %+v", iri)
+	}
+	b := NewBlank("b0")
+	if !b.IsBlank() {
+		t.Fatalf("blank kind flags wrong: %+v", b)
+	}
+	s := NewString("hi")
+	if !s.IsLiteral() || s.Datatype != XSDString {
+		t.Fatalf("string literal wrong: %+v", s)
+	}
+	l := NewLangString("hoi", "NL")
+	if l.Lang != "nl" {
+		t.Fatalf("lang tag not lowercased: %+v", l)
+	}
+	if l.Datatype != RDFLangString {
+		t.Fatalf("lang string datatype wrong: %+v", l)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/a"), "<http://x/a>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewString("hi"), `"hi"`},
+		{NewLangString("hi", "en"), `"hi"@en`},
+		{NewInteger(42), `"42"^^<` + XSDInteger + `>`},
+		{NewString("a\"b\\c\nd"), `"a\"b\\c\nd"`},
+		{NewBoolean(true), `"true"^^<` + XSDBoolean + `>`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestSameLang(t *testing.T) {
+	en1 := NewLangString("color", "en")
+	en2 := NewLangString("colour", "EN")
+	nl := NewLangString("kleur", "nl")
+	plain := NewString("color")
+	if !SameLang(en1, en2) {
+		t.Error("same tag should be ~")
+	}
+	if SameLang(en1, nl) {
+		t.Error("different tags should not be ~")
+	}
+	if SameLang(en1, plain) || SameLang(plain, plain) {
+		t.Error("untagged literals are never ~")
+	}
+	if SameLang(en1, NewIRI("x")) {
+		t.Error("IRIs are never ~")
+	}
+}
+
+func TestLessNumeric(t *testing.T) {
+	if !Less(NewInteger(1), NewInteger(2)) {
+		t.Error("1 < 2")
+	}
+	if Less(NewInteger(2), NewInteger(1)) {
+		t.Error("!(2 < 1)")
+	}
+	if Less(NewInteger(2), NewInteger(2)) {
+		t.Error("!(2 < 2)")
+	}
+	if !Less(NewDecimal(1.5), NewInteger(2)) {
+		t.Error("cross-numeric 1.5 < 2")
+	}
+	if !Less(NewDouble(-3), NewDecimal(0.5)) {
+		t.Error("-3 < 0.5")
+	}
+}
+
+func TestLessStrings(t *testing.T) {
+	if !Less(NewString("a"), NewString("b")) {
+		t.Error("a < b")
+	}
+	if Less(NewString("b"), NewString("a")) {
+		t.Error("!(b < a)")
+	}
+	// Language-tagged strings are in the string class.
+	if !Less(NewLangString("a", "en"), NewString("b")) {
+		t.Error("lang string comparable to plain string")
+	}
+}
+
+func TestLessIncomparable(t *testing.T) {
+	num := NewInteger(1)
+	str := NewString("1")
+	if Less(num, str) || Less(str, num) {
+		t.Error("numeric and string literals are incomparable")
+	}
+	iri := NewIRI("http://x/1")
+	if Less(iri, num) || Less(num, iri) {
+		t.Error("IRIs are incomparable")
+	}
+	junk := NewTypedLiteral("abc", XSDInteger)
+	if Less(junk, num) || Less(num, junk) {
+		t.Error("malformed numerics are incomparable")
+	}
+	other := NewTypedLiteral("x", "http://example.org/custom")
+	if Less(other, other) {
+		t.Error("unknown datatypes are incomparable")
+	}
+}
+
+func TestLessBooleansAndDates(t *testing.T) {
+	if !Less(NewBoolean(false), NewBoolean(true)) {
+		t.Error("false < true")
+	}
+	if Less(NewBoolean(true), NewBoolean(false)) {
+		t.Error("!(true < false)")
+	}
+	d1 := NewTypedLiteral("2021-01-01", XSDDate)
+	d2 := NewTypedLiteral("2022-06-15", XSDDate)
+	if !Less(d1, d2) {
+		t.Error("2021 < 2022")
+	}
+	dt1 := NewTypedLiteral("2021-01-01T10:00:00Z", XSDDateTime)
+	dt2 := NewTypedLiteral("2021-01-01T11:00:00Z", XSDDateTime)
+	if !Less(dt1, dt2) {
+		t.Error("dateTime hour order")
+	}
+	if Less(dt2, dt1) {
+		t.Error("dateTime antisymmetry")
+	}
+}
+
+func TestLessEq(t *testing.T) {
+	if !LessEq(NewInteger(2), NewInteger(2)) {
+		t.Error("2 <= 2")
+	}
+	if !LessEq(NewInteger(2), NewDecimal(2.0)) {
+		t.Error("2 <= 2.0 across numeric types")
+	}
+	if !LessEq(NewString("a"), NewString("a")) {
+		t.Error("a <= a")
+	}
+	if LessEq(NewInteger(3), NewInteger(2)) {
+		t.Error("!(3 <= 2)")
+	}
+	if LessEq(NewInteger(1), NewString("2")) {
+		t.Error("incomparable values are not <=")
+	}
+}
+
+// Property: Less is a strict partial order — irreflexive, asymmetric, and
+// transitive — on randomly generated literals.
+func TestLessStrictPartialOrderProperty(t *testing.T) {
+	gen := func(seed int64) Term {
+		switch seed % 5 {
+		case 0:
+			return NewInteger(seed % 100)
+		case 1:
+			return NewDecimal(float64(seed%100) / 4)
+		case 2:
+			return NewString(string(rune('a' + seed%26)))
+		case 3:
+			return NewBoolean(seed%2 == 0)
+		default:
+			return NewTypedLiteral("2021-01-02", XSDDate)
+		}
+	}
+	irrefl := func(x int64) bool {
+		a := gen(x)
+		return !Less(a, a)
+	}
+	if err := quick.Check(irrefl, nil); err != nil {
+		t.Errorf("irreflexivity: %v", err)
+	}
+	asym := func(x, y int64) bool {
+		a, b := gen(x), gen(y)
+		return !(Less(a, b) && Less(b, a))
+	}
+	if err := quick.Check(asym, nil); err != nil {
+		t.Errorf("asymmetry: %v", err)
+	}
+	trans := func(x, y, z int64) bool {
+		a, b, c := gen(x), gen(y), gen(z)
+		if Less(a, b) && Less(b, c) {
+			return Less(a, c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	terms := []Term{
+		NewIRI("http://x/b"), NewIRI("http://x/a"), NewBlank("z"),
+		NewBlank("a"), NewString("m"), NewLangString("m", "en"),
+		NewInteger(5), NewString("a"),
+	}
+	sort.Slice(terms, func(i, j int) bool { return Compare(terms[i], terms[j]) < 0 })
+	for i := 1; i < len(terms); i++ {
+		if Compare(terms[i-1], terms[i]) > 0 {
+			t.Fatalf("not sorted at %d: %v vs %v", i, terms[i-1], terms[i])
+		}
+	}
+	// IRIs sort before blanks before literals.
+	if !terms[0].IsIRI() || !terms[len(terms)-1].IsLiteral() {
+		t.Errorf("kind ordering violated: %v", terms)
+	}
+	if Compare(NewString("m"), NewLangString("m", "en")) == 0 {
+		t.Error("plain and lang-tagged literal must differ")
+	}
+}
+
+func TestTripleBasics(t *testing.T) {
+	a, p, b := NewIRI("http://x/a"), NewIRI("http://x/p"), NewIRI("http://x/b")
+	tr := T(a, p, b)
+	if !tr.Valid() {
+		t.Error("IRI triple should be valid")
+	}
+	if T(NewString("s"), p, b).Valid() {
+		t.Error("literal subject is invalid")
+	}
+	if T(a, NewBlank("p"), b).Valid() {
+		t.Error("blank predicate is invalid")
+	}
+	if got := tr.String(); got != "<http://x/a> <http://x/p> <http://x/b>" {
+		t.Errorf("triple string: %q", got)
+	}
+	if CompareTriples(tr, tr) != 0 {
+		t.Error("triple self-compare")
+	}
+	if CompareTriples(T(a, p, a), T(a, p, b)) >= 0 {
+		t.Error("object ordering")
+	}
+	if CompareTriples(T(a, a, b), T(a, p, b)) >= 0 {
+		t.Error("predicate ordering")
+	}
+}
+
+func TestNumericAndTimeValue(t *testing.T) {
+	if v, ok := NewInteger(7).NumericValue(); !ok || v != 7 {
+		t.Errorf("NumericValue(7) = %v, %v", v, ok)
+	}
+	if _, ok := NewString("7").NumericValue(); ok {
+		t.Error("strings have no numeric value")
+	}
+	if _, ok := NewTypedLiteral("2020-05-05", XSDDate).TimeValue(); !ok {
+		t.Error("date should parse")
+	}
+	if _, ok := NewTypedLiteral("not-a-date", XSDDate).TimeValue(); ok {
+		t.Error("junk date should not parse")
+	}
+}

@@ -1,0 +1,418 @@
+// Package rdfgraph implements an in-memory, dictionary-encoded RDF triple
+// store. Terms are interned into dense integer IDs; triples are kept in
+// three indexes (subject→predicate→objects, object→predicate→subjects, and
+// a per-predicate edge list) so that the access patterns of shape
+// evaluation — forward steps, backward steps, and property scans — are all
+// constant-time per edge.
+package rdfgraph
+
+import (
+	"sort"
+
+	"shaclfrag/internal/rdf"
+)
+
+// ID is a dense identifier for an interned term. IDs are only meaningful
+// relative to the Dict that produced them.
+type ID int32
+
+// NoID is returned by lookups for terms that were never interned.
+const NoID ID = -1
+
+// Dict interns terms to dense IDs and back.
+type Dict struct {
+	byTerm map[rdf.Term]ID
+	terms  []rdf.Term
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byTerm: make(map[rdf.Term]ID)}
+}
+
+// Intern returns the ID for t, assigning a fresh one if needed.
+func (d *Dict) Intern(t rdf.Term) ID {
+	if id, ok := d.byTerm[t]; ok {
+		return id
+	}
+	id := ID(len(d.terms))
+	d.byTerm[t] = id
+	d.terms = append(d.terms, t)
+	return id
+}
+
+// Lookup returns the ID for t, or NoID if t was never interned.
+func (d *Dict) Lookup(t rdf.Term) ID {
+	if id, ok := d.byTerm[t]; ok {
+		return id
+	}
+	return NoID
+}
+
+// Term returns the term for a valid ID.
+func (d *Dict) Term(id ID) rdf.Term { return d.terms[id] }
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// Edge is a dictionary-encoded (subject, object) pair under some predicate.
+type Edge struct {
+	S, O ID
+}
+
+// Graph is a mutable in-memory RDF graph. The zero value is not usable;
+// call New.
+type Graph struct {
+	dict *Dict
+	// spo maps subject → predicate → object set.
+	spo map[ID]map[ID]map[ID]struct{}
+	// ops maps object → predicate → subject set.
+	ops map[ID]map[ID]map[ID]struct{}
+	// byPred maps predicate → list of edges, in insertion order.
+	byPred map[ID][]Edge
+	size   int
+}
+
+// New returns an empty graph with its own term dictionary.
+func New() *Graph {
+	return &Graph{
+		dict:   NewDict(),
+		spo:    make(map[ID]map[ID]map[ID]struct{}),
+		ops:    make(map[ID]map[ID]map[ID]struct{}),
+		byPred: make(map[ID][]Edge),
+	}
+}
+
+// FromTriples builds a graph from the given triples.
+func FromTriples(triples []rdf.Triple) *Graph {
+	g := New()
+	for _, t := range triples {
+		g.Add(t)
+	}
+	return g
+}
+
+// Dict exposes the graph's term dictionary.
+func (g *Graph) Dict() *Dict { return g.dict }
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return g.size }
+
+// Add inserts the triple, reporting whether it was new.
+func (g *Graph) Add(t rdf.Triple) bool {
+	s := g.dict.Intern(t.S)
+	p := g.dict.Intern(t.P)
+	o := g.dict.Intern(t.O)
+	return g.AddIDs(s, p, o)
+}
+
+// AddIDs inserts a dictionary-encoded triple, reporting whether it was new.
+// The IDs must come from this graph's dictionary.
+func (g *Graph) AddIDs(s, p, o ID) bool {
+	po, ok := g.spo[s]
+	if !ok {
+		po = make(map[ID]map[ID]struct{})
+		g.spo[s] = po
+	}
+	objs, ok := po[p]
+	if !ok {
+		objs = make(map[ID]struct{})
+		po[p] = objs
+	}
+	if _, dup := objs[o]; dup {
+		return false
+	}
+	objs[o] = struct{}{}
+
+	ps, ok := g.ops[o]
+	if !ok {
+		ps = make(map[ID]map[ID]struct{})
+		g.ops[o] = ps
+	}
+	subs, ok := ps[p]
+	if !ok {
+		subs = make(map[ID]struct{})
+		ps[p] = subs
+	}
+	subs[s] = struct{}{}
+
+	g.byPred[p] = append(g.byPred[p], Edge{S: s, O: o})
+	g.size++
+	return true
+}
+
+// Has reports whether the triple is in the graph.
+func (g *Graph) Has(t rdf.Triple) bool {
+	s := g.dict.Lookup(t.S)
+	p := g.dict.Lookup(t.P)
+	o := g.dict.Lookup(t.O)
+	if s == NoID || p == NoID || o == NoID {
+		return false
+	}
+	return g.HasIDs(s, p, o)
+}
+
+// HasIDs reports whether the dictionary-encoded triple is present.
+func (g *Graph) HasIDs(s, p, o ID) bool {
+	if po, ok := g.spo[s]; ok {
+		if objs, ok := po[p]; ok {
+			_, ok := objs[o]
+			return ok
+		}
+	}
+	return false
+}
+
+// Objects calls fn for every o with (s, p, o) ∈ G.
+func (g *Graph) Objects(s, p ID, fn func(o ID)) {
+	if po, ok := g.spo[s]; ok {
+		for o := range po[p] {
+			fn(o)
+		}
+	}
+}
+
+// Subjects calls fn for every s with (s, p, o) ∈ G.
+func (g *Graph) Subjects(p, o ID, fn func(s ID)) {
+	if ps, ok := g.ops[o]; ok {
+		for s := range ps[p] {
+			fn(s)
+		}
+	}
+}
+
+// PredicatesFrom calls fn once for every predicate p and object o with
+// (s, p, o) ∈ G.
+func (g *Graph) PredicatesFrom(s ID, fn func(p, o ID)) {
+	for p, objs := range g.spo[s] {
+		for o := range objs {
+			fn(p, o)
+		}
+	}
+}
+
+// PredicatesTo calls fn once for every predicate p and subject s with
+// (s, p, o) ∈ G.
+func (g *Graph) PredicatesTo(o ID, fn func(s, p ID)) {
+	for p, subs := range g.ops[o] {
+		for s := range subs {
+			fn(s, p)
+		}
+	}
+}
+
+// EdgesByPredicate returns the edge list for predicate p. The returned
+// slice must not be modified.
+func (g *Graph) EdgesByPredicate(p ID) []Edge { return g.byPred[p] }
+
+// Predicates calls fn for every distinct predicate in the graph.
+func (g *Graph) Predicates(fn func(p ID)) {
+	for p := range g.byPred {
+		fn(p)
+	}
+}
+
+// EachTriple calls fn for every triple (in unspecified order).
+func (g *Graph) EachTriple(fn func(s, p, o ID)) {
+	for s, po := range g.spo {
+		for p, objs := range po {
+			for o := range objs {
+				fn(s, p, o)
+			}
+		}
+	}
+}
+
+// Nodes calls fn once for every node of the graph, i.e., every term that
+// occurs as a subject or object of some triple. This is the finite set
+// N(G) the paper quantifies over when computing shape fragments.
+func (g *Graph) Nodes(fn func(n ID)) {
+	seen := make(map[ID]struct{}, len(g.spo)+len(g.ops))
+	for s := range g.spo {
+		if _, ok := seen[s]; !ok {
+			seen[s] = struct{}{}
+			fn(s)
+		}
+	}
+	for o := range g.ops {
+		if _, ok := seen[o]; !ok {
+			seen[o] = struct{}{}
+			fn(o)
+		}
+	}
+}
+
+// NodeIDs returns N(G) as a sorted slice of IDs.
+func (g *Graph) NodeIDs() []ID {
+	var ids []ID
+	g.Nodes(func(n ID) { ids = append(ids, n) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// IsNode reports whether id occurs as a subject or object in the graph.
+func (g *Graph) IsNode(id ID) bool {
+	if _, ok := g.spo[id]; ok {
+		return true
+	}
+	_, ok := g.ops[id]
+	return ok
+}
+
+// Triples returns all triples in canonical order (Compare on S, P, O).
+func (g *Graph) Triples() []rdf.Triple {
+	out := make([]rdf.Triple, 0, g.size)
+	g.EachTriple(func(s, p, o ID) {
+		out = append(out, rdf.Triple{S: g.dict.Term(s), P: g.dict.Term(p), O: g.dict.Term(o)})
+	})
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// Term resolves an ID via the graph's dictionary.
+func (g *Graph) Term(id ID) rdf.Term { return g.dict.Term(id) }
+
+// TermID interns a term into the graph's dictionary without adding any
+// triple. This is how shape constants (hasValue nodes, class names) obtain
+// IDs comparable against graph nodes.
+func (g *Graph) TermID(t rdf.Term) ID { return g.dict.Intern(t) }
+
+// LookupTerm returns the ID of t if it is interned, else NoID.
+func (g *Graph) LookupTerm(t rdf.Term) ID { return g.dict.Lookup(t) }
+
+// Clone returns a deep copy of the graph sharing no mutable state. The
+// dictionary is rebuilt, so IDs in the clone are generally different.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	g.EachTriple(func(s, p, o ID) {
+		out.Add(rdf.Triple{S: g.dict.Term(s), P: g.dict.Term(p), O: g.dict.Term(o)})
+	})
+	return out
+}
+
+// ContainsGraph reports whether every triple of sub is in g.
+func (g *Graph) ContainsGraph(sub *Graph) bool {
+	ok := true
+	sub.EachTriple(func(s, p, o ID) {
+		if !ok {
+			return
+		}
+		if !g.Has(rdf.Triple{S: sub.dict.Term(s), P: sub.dict.Term(p), O: sub.dict.Term(o)}) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// Equal reports whether g and other contain exactly the same triples.
+func (g *Graph) Equal(other *Graph) bool {
+	return g.size == other.size && g.ContainsGraph(other) && other.ContainsGraph(g)
+}
+
+// IDTriple is a dictionary-encoded triple (subject, predicate, object).
+type IDTriple struct {
+	S, P, O ID
+}
+
+// IDTripleSet accumulates dictionary-encoded triples. Neighborhood and
+// fragment extraction build results here: hashing three int32s per insert
+// is far cheaper than hashing term strings.
+type IDTripleSet struct {
+	set map[IDTriple]struct{}
+}
+
+// NewIDTripleSet returns an empty set.
+func NewIDTripleSet() *IDTripleSet {
+	return &IDTripleSet{set: make(map[IDTriple]struct{})}
+}
+
+// Add inserts t, reporting whether it was new.
+func (s *IDTripleSet) Add(t IDTriple) bool {
+	if _, ok := s.set[t]; ok {
+		return false
+	}
+	s.set[t] = struct{}{}
+	return true
+}
+
+// Len returns the set size.
+func (s *IDTripleSet) Len() int { return len(s.set) }
+
+// Each calls fn for every triple in the set (unspecified order).
+func (s *IDTripleSet) Each(fn func(IDTriple)) {
+	for t := range s.set {
+		fn(t)
+	}
+}
+
+// AddSet inserts every triple of other.
+func (s *IDTripleSet) AddSet(other *IDTripleSet) {
+	for t := range other.set {
+		s.set[t] = struct{}{}
+	}
+}
+
+// Triples decodes the contents through d in canonical order.
+func (s *IDTripleSet) Triples(d *Dict) []rdf.Triple {
+	out := make([]rdf.Triple, 0, len(s.set))
+	for t := range s.set {
+		out = append(out, rdf.Triple{S: d.Term(t.S), P: d.Term(t.P), O: d.Term(t.O)})
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// TripleSet is a set of triples under construction, used to accumulate
+// neighborhoods and fragments before freezing them into a Graph.
+type TripleSet struct {
+	set map[rdf.Triple]struct{}
+}
+
+// NewTripleSet returns an empty set.
+func NewTripleSet() *TripleSet {
+	return &TripleSet{set: make(map[rdf.Triple]struct{})}
+}
+
+// Add inserts t, reporting whether it was new.
+func (s *TripleSet) Add(t rdf.Triple) bool {
+	if _, ok := s.set[t]; ok {
+		return false
+	}
+	s.set[t] = struct{}{}
+	return true
+}
+
+// AddAll inserts every triple of g.
+func (s *TripleSet) AddAll(g *Graph) {
+	g.EachTriple(func(sub, p, o ID) {
+		s.Add(rdf.Triple{S: g.dict.Term(sub), P: g.dict.Term(p), O: g.dict.Term(o)})
+	})
+}
+
+// Has reports membership.
+func (s *TripleSet) Has(t rdf.Triple) bool {
+	_, ok := s.set[t]
+	return ok
+}
+
+// Len returns the set size.
+func (s *TripleSet) Len() int { return len(s.set) }
+
+// Triples returns the contents in canonical order.
+func (s *TripleSet) Triples() []rdf.Triple {
+	out := make([]rdf.Triple, 0, len(s.set))
+	for t := range s.set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// Graph freezes the set into a Graph.
+func (s *TripleSet) Graph() *Graph {
+	g := New()
+	for t := range s.set {
+		g.Add(t)
+	}
+	return g
+}

@@ -1,0 +1,233 @@
+package schema_test
+
+import (
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/turtle"
+)
+
+const base = "http://x/"
+
+func iri(s string) rdf.Term { return rdf.NewIRI(base + s) }
+
+func p(name string) paths.Expr { return paths.P(base + name) }
+
+func mustGraph(t *testing.T, src string) *rdfgraph.Graph {
+	t.Helper()
+	g, err := turtle.Parse("@prefix ex: <" + base + "> .\n" + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	d := schema.Definition{Name: iri("S"), Shape: shape.TrueShape(), Target: shape.FalseShape()}
+	if _, err := schema.New(d, d); err == nil {
+		t.Error("duplicate names must be rejected")
+	}
+}
+
+func TestNewRejectsRecursion(t *testing.T) {
+	s1 := schema.Definition{Name: iri("S1"), Shape: shape.Ref(iri("S2")), Target: shape.FalseShape()}
+	s2 := schema.Definition{Name: iri("S2"), Shape: shape.Neg(shape.Ref(iri("S1"))), Target: shape.FalseShape()}
+	if _, err := schema.New(s1, s2); err == nil {
+		t.Error("mutual recursion must be rejected")
+	}
+	self := schema.Definition{Name: iri("S"), Shape: shape.Min(1, p("p"), shape.Ref(iri("S"))), Target: shape.FalseShape()}
+	if _, err := schema.New(self); err == nil {
+		t.Error("self recursion must be rejected")
+	}
+	// References to undefined shapes are fine (they default to ⊤).
+	open := schema.Definition{Name: iri("S"), Shape: shape.Ref(iri("Elsewhere")), Target: shape.FalseShape()}
+	if _, err := schema.New(open); err != nil {
+		t.Errorf("open reference should be accepted: %v", err)
+	}
+	// A DAG of references is fine.
+	d1 := schema.Definition{Name: iri("A"), Shape: shape.Ref(iri("B")), Target: shape.FalseShape()}
+	d2 := schema.Definition{Name: iri("B"), Shape: shape.TrueShape(), Target: shape.FalseShape()}
+	if _, err := schema.New(d1, d2); err != nil {
+		t.Errorf("DAG should be accepted: %v", err)
+	}
+}
+
+func TestNewRejectsNilShape(t *testing.T) {
+	if _, err := schema.New(schema.Definition{Name: iri("S")}); err == nil {
+		t.Error("nil shape expression must be rejected")
+	}
+}
+
+func TestDefResolution(t *testing.T) {
+	s := schema.MustNew(schema.Definition{Name: iri("S"), Shape: shape.TrueShape(), Target: shape.FalseShape()})
+	if def, ok := s.Def(iri("S")); !ok || def.String() != "⊤" {
+		t.Error("Def must resolve declared names")
+	}
+	if _, ok := s.Def(iri("Nope")); ok {
+		t.Error("Def must not resolve undeclared names")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestTargets(t *testing.T) {
+	g := mustGraph(t, `
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+ex:p1 rdf:type ex:Paper .
+ex:p2 rdf:type ex:ShortPaper .
+ex:ShortPaper rdfs:subClassOf ex:Paper .
+ex:p1 ex:author ex:alice .
+`)
+	ev := shape.NewEvaluator(g, nil)
+	check := func(target shape.Shape, node string, want bool) {
+		t.Helper()
+		if got := ev.ConformsTerm(iri(node), target); got != want {
+			t.Errorf("target %s at %s = %v, want %v", target, node, got, want)
+		}
+	}
+	check(schema.TargetNode(iri("p1")), "p1", true)
+	check(schema.TargetNode(iri("p1")), "p2", false)
+	check(schema.TargetClass(iri("Paper")), "p1", true)
+	check(schema.TargetClass(iri("Paper")), "p2", true) // via subclass
+	check(schema.TargetClass(iri("Paper")), "alice", false)
+	check(schema.TargetSubjectsOf(base+"author"), "p1", true)
+	check(schema.TargetSubjectsOf(base+"author"), "alice", false)
+	check(schema.TargetObjectsOf(base+"author"), "alice", true)
+	check(schema.TargetObjectsOf(base+"author"), "p1", false)
+}
+
+func TestIsMonotone(t *testing.T) {
+	s := schema.MustNew(
+		schema.Definition{Name: iri("Mono"), Shape: shape.Min(1, p("p"), shape.TrueShape()), Target: shape.FalseShape()},
+		schema.Definition{Name: iri("NonMono"), Shape: shape.Max(1, p("p"), shape.TrueShape()), Target: shape.FalseShape()},
+	)
+	cases := []struct {
+		phi  shape.Shape
+		want bool
+	}{
+		{schema.TargetNode(iri("c")), true},
+		{schema.TargetClass(iri("C")), true},
+		{schema.TargetSubjectsOf(base + "p"), true},
+		{schema.TargetObjectsOf(base + "p"), true},
+		{shape.AndOf(schema.TargetNode(iri("c")), shape.Min(2, p("p"), shape.TrueShape())), true},
+		{shape.OrOf(schema.TargetNode(iri("c")), schema.TargetClass(iri("C"))), true},
+		{shape.Neg(schema.TargetNode(iri("c"))), false},
+		{shape.Max(0, p("p"), shape.TrueShape()), false},
+		{shape.All(p("p"), shape.TrueShape()), false},
+		{shape.EqID(base + "p"), false},
+		{shape.Ref(iri("Mono")), true},
+		{shape.Ref(iri("NonMono")), false},
+		{shape.Ref(iri("Undefined")), true},
+		{shape.Min(1, p("p"), shape.Neg(shape.TrueShape())), false},
+	}
+	for _, c := range cases {
+		if got := s.IsMonotone(c.phi); got != c.want {
+			t.Errorf("IsMonotone(%s) = %v, want %v", c.phi, got, c.want)
+		}
+	}
+}
+
+func TestValidateExample13(t *testing.T) {
+	// Example 1.3: papers must have a student author.
+	g := mustGraph(t, `
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:good rdf:type ex:Paper ; ex:author ex:bob .
+ex:bad rdf:type ex:Paper ; ex:author ex:anne .
+ex:bob rdf:type ex:Student .
+ex:anne rdf:type ex:Professor .
+`)
+	workshopShape := shape.Min(1, p("author"),
+		shape.Min(1, paths.P(rdf.RDFType), shape.Value(iri("Student"))))
+	h := schema.MustNew(schema.Definition{
+		Name:   iri("WorkshopShape"),
+		Shape:  workshopShape,
+		Target: schema.TargetClass(iri("Paper")),
+	})
+	report := h.Validate(g)
+	if report.Conforms {
+		t.Error("graph must not conform (bad paper)")
+	}
+	if report.TargetedNodes != 2 {
+		t.Errorf("targeted %d nodes, want 2", report.TargetedNodes)
+	}
+	v := report.Violations()
+	if len(v) != 1 || v[0].Focus != iri("bad") {
+		t.Errorf("violations = %+v", v)
+	}
+	// Remove the offending paper; now it conforms.
+	g2 := mustGraph(t, `
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:good rdf:type ex:Paper ; ex:author ex:bob .
+ex:bob rdf:type ex:Student .
+`)
+	if !h.Validate(g2).Conforms {
+		t.Error("reduced graph must conform")
+	}
+}
+
+func TestValidateNodeTargetOutsideGraph(t *testing.T) {
+	// A node target names a node absent from the data; it trivially matches
+	// the target, so its shape is checked (and fails here).
+	g := mustGraph(t, `ex:a ex:p ex:b .`)
+	h := schema.MustNew(schema.Definition{
+		Name:   iri("S"),
+		Shape:  shape.Min(1, p("p"), shape.TrueShape()),
+		Target: schema.TargetNode(iri("ghost")),
+	})
+	report := h.Validate(g)
+	if report.Conforms {
+		t.Error("ghost node has no p-edge, must violate")
+	}
+	if len(report.Results) != 1 || report.Results[0].Focus != iri("ghost") {
+		t.Errorf("results = %+v", report.Results)
+	}
+}
+
+func TestValidateMultipleDefinitions(t *testing.T) {
+	g := mustGraph(t, `
+ex:a ex:p ex:b ; ex:q ex:c .
+ex:z ex:p ex:b .
+`)
+	h := schema.MustNew(
+		schema.Definition{
+			Name:   iri("HasQ"),
+			Shape:  shape.Min(1, p("q"), shape.TrueShape()),
+			Target: schema.TargetSubjectsOf(base + "p"),
+		},
+		schema.Definition{
+			Name:   iri("Anything"),
+			Shape:  shape.TrueShape(),
+			Target: schema.TargetSubjectsOf(base + "q"),
+		},
+	)
+	report := h.Validate(g)
+	if report.Conforms {
+		t.Error("z has no q-edge")
+	}
+	if got := len(report.Results); got != 3 {
+		t.Errorf("results = %d, want 3 (a and z for HasQ, a for Anything)", got)
+	}
+	var names []string
+	for _, r := range report.Results {
+		names = append(names, r.ShapeName.Value+"/"+r.Focus.Value)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "HasQ") || !strings.Contains(joined, "Anything") {
+		t.Errorf("unexpected results: %v", names)
+	}
+}
+
+func TestTargetConstants(t *testing.T) {
+	tau := shape.OrOf(schema.TargetNode(iri("a")), schema.TargetNode(iri("b")), schema.TargetClass(iri("C")))
+	consts := schema.TargetConstants(tau)
+	if len(consts) != 3 { // a, b and the class constant C
+		t.Errorf("TargetConstants = %v", consts)
+	}
+}

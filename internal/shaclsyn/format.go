@@ -1,0 +1,409 @@
+package shaclsyn
+
+import (
+	"fmt"
+	"strings"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+// Format serializes a formal schema back into a real SHACL shapes graph in
+// Turtle — the inverse direction of the Appendix A translation. Every shape
+// constructible through this package's parser round-trips semantically;
+// constructs with no SHACL counterpart (moreThan, moreThanEq) are rejected.
+func Format(h *schema.Schema) (string, error) {
+	w := &shaclWriter{refs: map[rdf.Term]bool{}, rename: map[rdf.Term]string{}}
+	// Blank-node shape names are renamed to a reserved label space so they
+	// cannot collide with the labels a Turtle parser invents for the
+	// bracketed nodes in our own output.
+	for i, d := range h.Definitions() {
+		w.refs[d.Name] = true
+		if d.Name.IsBlank() {
+			w.rename[d.Name] = fmt.Sprintf("_:s%d", i+1)
+		}
+	}
+	for _, d := range h.Definitions() {
+		if err := w.definition(d); err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	b.WriteString("@prefix sh: <http://www.w3.org/ns/shacl#> .\n")
+	b.WriteString("@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .\n\n")
+	b.WriteString(w.out.String())
+	return b.String(), nil
+}
+
+type shaclWriter struct {
+	out    strings.Builder
+	fresh  int
+	refs   map[rdf.Term]bool
+	rename map[rdf.Term]string
+}
+
+func (w *shaclWriter) blank() string {
+	w.fresh++
+	return fmt.Sprintf("_:f%d", w.fresh)
+}
+
+func (w *shaclWriter) termRef(t rdf.Term) string {
+	if renamed, ok := w.rename[t]; ok {
+		return renamed
+	}
+	if t.IsBlank() {
+		return "_:" + t.Value
+	}
+	return t.String()
+}
+
+// definition emits one shape definition: node shape triples plus targets.
+func (w *shaclWriter) definition(d schema.Definition) error {
+	subject := w.termRef(d.Name)
+	fmt.Fprintf(&w.out, "%s a sh:NodeShape .\n", subject)
+	if err := w.targets(subject, d.Target); err != nil {
+		return err
+	}
+	if err := w.nodeShapeBody(subject, d.Shape); err != nil {
+		return err
+	}
+	w.out.WriteString("\n")
+	return nil
+}
+
+// targets recognizes the four real-SHACL target forms (and disjunctions of
+// them); ⊥ means no target.
+func (w *shaclWriter) targets(subject string, tau shape.Shape) error {
+	switch x := tau.(type) {
+	case *shape.False:
+		return nil
+	case *shape.Or:
+		for _, alt := range x.Xs {
+			if err := w.targets(subject, alt); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *shape.HasValue:
+		fmt.Fprintf(&w.out, "%s sh:targetNode %s .\n", subject, x.C)
+		return nil
+	case *shape.MinCount:
+		if x.N != 1 {
+			break
+		}
+		if hv, ok := x.X.(*shape.HasValue); ok {
+			// Class target: ≥1 rdf:type/rdfs:subClassOf*.hasValue(c).
+			if seq, ok := x.Path.(paths.Seq); ok {
+				if p, ok := seq.Left.(paths.Prop); ok && p.IRI == rdf.RDFType {
+					if st, ok := seq.Right.(paths.Star); ok {
+						if sp, ok := st.X.(paths.Prop); ok && sp.IRI == rdf.RDFSSubClassOf {
+							fmt.Fprintf(&w.out, "%s sh:targetClass %s .\n", subject, hv.C)
+							return nil
+						}
+					}
+				}
+			}
+		}
+		if _, ok := x.X.(*shape.True); ok {
+			switch p := x.Path.(type) {
+			case paths.Prop:
+				fmt.Fprintf(&w.out, "%s sh:targetSubjectsOf <%s> .\n", subject, p.IRI)
+				return nil
+			case paths.Inverse:
+				if ip, ok := p.X.(paths.Prop); ok {
+					fmt.Fprintf(&w.out, "%s sh:targetObjectsOf <%s> .\n", subject, ip.IRI)
+					return nil
+				}
+			}
+		}
+	}
+	return fmt.Errorf("shaclsyn: target %s is not a real-SHACL target form", tau)
+}
+
+// nodeShapeBody emits the constraint triples of φ onto the node shape
+// subject.
+func (w *shaclWriter) nodeShapeBody(subject string, phi shape.Shape) error {
+	switch x := phi.(type) {
+	case *shape.True:
+		return nil
+	case *shape.False:
+		// ⊥ as sh:not [ ] — an empty node shape is ⊤, so ¬⊤ is ⊥... an
+		// empty shape conforms everywhere; use sh:in () instead.
+		fmt.Fprintf(&w.out, "%s sh:in () .\n", subject)
+		return nil
+	case *shape.And:
+		for _, c := range x.Xs {
+			if err := w.nodeShapeBody(subject, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *shape.Or:
+		members, err := w.shapeList(x.Xs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&w.out, "%s sh:or %s .\n", subject, members)
+		return nil
+	case *shape.Not:
+		inner, err := w.anonShape(x.X)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&w.out, "%s sh:not %s .\n", subject, inner)
+		return nil
+	case *shape.HasShape:
+		fmt.Fprintf(&w.out, "%s sh:node %s .\n", subject, w.termRef(x.Name))
+		if !w.refs[x.Name] {
+			// Referenced but undefined shapes behave as ⊤; make the
+			// reference well-formed by declaring an empty node shape.
+			w.refs[x.Name] = true
+			fmt.Fprintf(&w.out, "%s a sh:NodeShape .\n", w.termRef(x.Name))
+		}
+		return nil
+	case *shape.HasValue:
+		fmt.Fprintf(&w.out, "%s sh:hasValue %s .\n", subject, x.C)
+		return nil
+	case *shape.Test:
+		return w.nodeTest(subject, x.T)
+	case *shape.Eq:
+		return w.pair(subject, "sh:equals", x.Path, x.P)
+	case *shape.Disj:
+		return w.pair(subject, "sh:disjoint", x.Path, x.P)
+	case *shape.LessThan:
+		return w.pair(subject, "sh:lessThan", x.Path, x.P)
+	case *shape.LessThanEq:
+		return w.pair(subject, "sh:lessThanOrEquals", x.Path, x.P)
+	case *shape.MoreThan, *shape.MoreThanEq:
+		return fmt.Errorf("shaclsyn: %s has no real-SHACL counterpart (Remark 2.3)", phi)
+	case *shape.Closed:
+		ignored := make([]string, len(x.Allowed))
+		for i, p := range x.Allowed {
+			ignored[i] = "<" + p + ">"
+		}
+		fmt.Fprintf(&w.out, "%s sh:closed true ; sh:ignoredProperties ( %s ) .\n",
+			subject, strings.Join(ignored, " "))
+		return nil
+	case *shape.UniqueLang:
+		path, err := w.path(x.Path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&w.out, "%s sh:property [ sh:path %s ; sh:uniqueLang true ] .\n", subject, path)
+		return nil
+	case *shape.MinCount:
+		return w.quantifier(subject, "sh:qualifiedMinCount", "sh:minCount", x.N, x.Path, x.X)
+	case *shape.MaxCount:
+		return w.quantifier(subject, "sh:qualifiedMaxCount", "sh:maxCount", x.N, x.Path, x.X)
+	case *shape.Forall:
+		path, err := w.path(x.Path)
+		if err != nil {
+			return err
+		}
+		inner, err := w.anonShape(x.X)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&w.out, "%s sh:property [ sh:path %s ; sh:node %s ] .\n", subject, path, inner)
+		return nil
+	}
+	return fmt.Errorf("shaclsyn: cannot serialize shape %s", phi)
+}
+
+// quantifier emits ≥n/≤n as plain or qualified cardinality constraints.
+func (w *shaclWriter) quantifier(subject, qualKey, plainKey string, n int, e paths.Expr, body shape.Shape) error {
+	path, err := w.path(e)
+	if err != nil {
+		return err
+	}
+	if _, isTrue := body.(*shape.True); isTrue {
+		fmt.Fprintf(&w.out, "%s sh:property [ sh:path %s ; %s %d ] .\n", subject, path, plainKey, n)
+		return nil
+	}
+	inner, err := w.anonShape(body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&w.out, "%s sh:property [ sh:path %s ; sh:qualifiedValueShape %s ; %s %d ] .\n",
+		subject, path, inner, qualKey, n)
+	return nil
+}
+
+// anonShape materializes a subshape as a fresh blank node shape and returns
+// its reference.
+func (w *shaclWriter) anonShape(phi shape.Shape) (string, error) {
+	name := w.blank()
+	fmt.Fprintf(&w.out, "%s a sh:NodeShape .\n", name)
+	if err := w.nodeShapeBody(name, phi); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func (w *shaclWriter) shapeList(xs []shape.Shape) (string, error) {
+	var parts []string
+	for _, x := range xs {
+		ref, err := w.anonShape(x)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, ref)
+	}
+	return "( " + strings.Join(parts, " ") + " )", nil
+}
+
+// pair emits a property pair constraint; a nil path means the id variant,
+// carried on the node shape itself.
+func (w *shaclWriter) pair(subject, key string, e paths.Expr, p string) error {
+	if e == nil {
+		fmt.Fprintf(&w.out, "%s %s <%s> .\n", subject, key, p)
+		return nil
+	}
+	path, err := w.path(e)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(&w.out, "%s sh:property [ sh:path %s ; %s <%s> ] .\n", subject, path, key, p)
+	return nil
+}
+
+// path serializes a path expression as a SHACL property path.
+func (w *shaclWriter) path(e paths.Expr) (string, error) {
+	switch x := e.(type) {
+	case paths.Prop:
+		return "<" + x.IRI + ">", nil
+	case paths.Inverse:
+		inner, err := w.path(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "[ sh:inversePath " + inner + " ]", nil
+	case paths.Star:
+		inner, err := w.path(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "[ sh:zeroOrMorePath " + inner + " ]", nil
+	case paths.ZeroOrOne:
+		inner, err := w.path(x.X)
+		if err != nil {
+			return "", err
+		}
+		return "[ sh:zeroOrOnePath " + inner + " ]", nil
+	case paths.Seq:
+		// Emit E1/E2/… as a SHACL list, flattening nested sequences.
+		var parts []string
+		var flatten func(paths.Expr) error
+		flatten = func(e paths.Expr) error {
+			if s, ok := e.(paths.Seq); ok {
+				if err := flatten(s.Left); err != nil {
+					return err
+				}
+				return flatten(s.Right)
+			}
+			p, err := w.path(e)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, p)
+			return nil
+		}
+		if err := flatten(x); err != nil {
+			return "", err
+		}
+		return "( " + strings.Join(parts, " ") + " )", nil
+	case paths.Alt:
+		var parts []string
+		var flatten func(paths.Expr) error
+		flatten = func(e paths.Expr) error {
+			if a, ok := e.(paths.Alt); ok {
+				if err := flatten(a.Left); err != nil {
+					return err
+				}
+				return flatten(a.Right)
+			}
+			p, err := w.path(e)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, p)
+			return nil
+		}
+		if err := flatten(x); err != nil {
+			return "", err
+		}
+		return "[ sh:alternativePath ( " + strings.Join(parts, " ") + " ) ]", nil
+	}
+	return "", fmt.Errorf("shaclsyn: cannot serialize path %s", e)
+}
+
+// nodeTest emits a node test as the corresponding SHACL constraint
+// component on the subject shape.
+func (w *shaclWriter) nodeTest(subject string, t shape.NodeTest) error {
+	switch x := t.(type) {
+	case shape.IsIRI:
+		fmt.Fprintf(&w.out, "%s sh:nodeKind sh:IRI .\n", subject)
+	case shape.IsBlank:
+		fmt.Fprintf(&w.out, "%s sh:nodeKind sh:BlankNode .\n", subject)
+	case shape.IsLiteral:
+		fmt.Fprintf(&w.out, "%s sh:nodeKind sh:Literal .\n", subject)
+	case shape.AnyOf:
+		kind, err := compoundNodeKind(x)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&w.out, "%s sh:nodeKind %s .\n", subject, kind)
+	case shape.Datatype:
+		fmt.Fprintf(&w.out, "%s sh:datatype <%s> .\n", subject, x.IRI)
+	case shape.HasLang:
+		fmt.Fprintf(&w.out, "%s sh:languageIn ( %q ) .\n", subject, x.Tag)
+	case *shape.Pattern:
+		fmt.Fprintf(&w.out, "%s sh:pattern %q .\n", subject, x.Source)
+	case shape.MinLength:
+		fmt.Fprintf(&w.out, "%s sh:minLength %d .\n", subject, x.N)
+	case shape.MaxLength:
+		fmt.Fprintf(&w.out, "%s sh:maxLength %d .\n", subject, x.N)
+	case shape.MinExclusive:
+		fmt.Fprintf(&w.out, "%s sh:minExclusive %s .\n", subject, x.Bound)
+	case shape.MaxExclusive:
+		fmt.Fprintf(&w.out, "%s sh:maxExclusive %s .\n", subject, x.Bound)
+	case shape.MinInclusive:
+		fmt.Fprintf(&w.out, "%s sh:minInclusive %s .\n", subject, x.Bound)
+	case shape.MaxInclusive:
+		fmt.Fprintf(&w.out, "%s sh:maxInclusive %s .\n", subject, x.Bound)
+	default:
+		return fmt.Errorf("shaclsyn: cannot serialize node test %s", t)
+	}
+	return nil
+}
+
+// compoundNodeKind maps AnyOf node-kind pairs back to sh:nodeKind values.
+func compoundNodeKind(a shape.AnyOf) (string, error) {
+	if len(a.Tests) != 2 {
+		return "", fmt.Errorf("shaclsyn: cannot serialize node test %s", a)
+	}
+	has := map[string]bool{}
+	for _, t := range a.Tests {
+		switch t.(type) {
+		case shape.IsIRI:
+			has["iri"] = true
+		case shape.IsBlank:
+			has["blank"] = true
+		case shape.IsLiteral:
+			has["literal"] = true
+		default:
+			return "", fmt.Errorf("shaclsyn: cannot serialize node test %s", a)
+		}
+	}
+	switch {
+	case has["blank"] && has["iri"]:
+		return "sh:BlankNodeOrIRI", nil
+	case has["blank"] && has["literal"]:
+		return "sh:BlankNodeOrLiteral", nil
+	case has["iri"] && has["literal"]:
+		return "sh:IRIOrLiteral", nil
+	}
+	return "", fmt.Errorf("shaclsyn: cannot serialize node test %s", a)
+}

@@ -1,0 +1,135 @@
+package shaclsyn_test
+
+import (
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/shape"
+)
+
+func TestFormatSimpleSchema(t *testing.T) {
+	h := schema.MustNew(schema.Definition{
+		Name: iri("S"),
+		Shape: shape.AndOf(
+			shape.Min(1, paths.P("http://x/author"), shape.TrueShape()),
+			shape.NodeTestShape(shape.IsIRI{}),
+		),
+		Target: schema.TargetClass(iri("Paper")),
+	})
+	out, err := shaclsyn.Format(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sh:targetClass", "sh:minCount 1", "sh:nodeKind sh:IRI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialization missing %q:\n%s", want, out)
+		}
+	}
+	// The output must re-parse into a working schema.
+	h2, err := shaclsyn.ParseSchema(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if _, ok := h2.Def(iri("S")); !ok {
+		t.Error("shape name lost in round trip")
+	}
+}
+
+func TestFormatRejectsMoreThan(t *testing.T) {
+	h := schema.MustNew(schema.Definition{
+		Name:   iri("S"),
+		Shape:  shape.More(paths.P("http://x/p"), "http://x/q"),
+		Target: schema.TargetNode(iri("a")),
+	})
+	if _, err := shaclsyn.Format(h); err == nil {
+		t.Error("moreThan has no SHACL counterpart and must be rejected")
+	}
+}
+
+func TestFormatRejectsNonStandardTargets(t *testing.T) {
+	h := schema.MustNew(schema.Definition{
+		Name:   iri("S"),
+		Shape:  shape.TrueShape(),
+		Target: shape.Max(0, paths.P("http://x/p"), shape.TrueShape()),
+	})
+	if _, err := shaclsyn.Format(h); err == nil {
+		t.Error("non-real-SHACL targets must be rejected")
+	}
+}
+
+// Semantic round trip over the whole 57-shape benchmark suite: the
+// serialized schema must validate a generated graph with exactly the same
+// per-shape outcomes as the original.
+func TestFormatRoundTripBenchmarkSuite(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 150, Seed: 33})
+	original := datagen.BenchmarkSchema()
+	text, err := shaclsyn.Format(original)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := shaclsyn.ParseSchema(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	want := original.Validate(g)
+	got := reparsed.Validate(g)
+
+	type key struct{ shape, focus string }
+	collect := func(r *schema.Report) map[key]bool {
+		out := map[key]bool{}
+		for _, res := range r.Results {
+			// Anonymous helper shapes introduced by serialization have no
+			// targets and produce no results; original names match exactly.
+			out[key{res.ShapeName.Value, res.Focus.Value}] = res.Conforms
+		}
+		return out
+	}
+	wantSet := collect(want)
+	gotSet := collect(got)
+	if len(wantSet) != len(gotSet) {
+		t.Fatalf("result sets differ in size: %d vs %d", len(wantSet), len(gotSet))
+	}
+	for k, conforms := range wantSet {
+		if gotConforms, ok := gotSet[k]; !ok || gotConforms != conforms {
+			t.Fatalf("round trip changed outcome for %v: %v vs %v (present %v)",
+				k, conforms, gotConforms, ok)
+		}
+	}
+	if want.Conforms != got.Conforms {
+		t.Fatal("overall conformance changed")
+	}
+}
+
+func TestFormatPathForms(t *testing.T) {
+	p := paths.P("http://x/p")
+	q := paths.P("http://x/q")
+	h := schema.MustNew(schema.Definition{
+		Name: iri("S"),
+		Shape: shape.AndOf(
+			shape.Min(1, paths.Inv(p), shape.TrueShape()),
+			shape.Min(1, paths.SeqOf(p, q), shape.TrueShape()),
+			shape.Min(1, paths.Star{X: p}, shape.TrueShape()),
+			shape.Min(1, paths.ZeroOrOne{X: q}, shape.TrueShape()),
+			shape.Min(1, paths.AltOf(p, q), shape.TrueShape()),
+		),
+		Target: schema.TargetSubjectsOf("http://x/p"),
+	})
+	out, err := shaclsyn.Format(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sh:inversePath", "sh:zeroOrMorePath", "sh:zeroOrOnePath", "sh:alternativePath",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if _, err := shaclsyn.ParseSchema(out); err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,776 @@
+// Package shaclsyn translates real SHACL shapes graphs into formal shape
+// schemas, implementing the translation function t of Appendix A of the
+// paper. It covers the SHACL core constraint components: shape-based
+// (sh:node, sh:property), logical (sh:and, sh:or, sh:not, sh:xone), value
+// type/range/string-based components, property pair components, cardinality
+// and qualified cardinality components, closedness, sh:hasValue, sh:in,
+// sh:languageIn, sh:uniqueLang, property paths, and the four target
+// declarations.
+package shaclsyn
+
+import (
+	"fmt"
+	"strconv"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/turtle"
+)
+
+// SHACL vocabulary.
+const (
+	NS = "http://www.w3.org/ns/shacl#"
+
+	shNodeShape     = NS + "NodeShape"
+	shPropertyShape = NS + "PropertyShape"
+
+	shProperty = NS + "property"
+	shNode     = NS + "node"
+	shPath     = NS + "path"
+
+	shAnd  = NS + "and"
+	shOr   = NS + "or"
+	shNot  = NS + "not"
+	shXone = NS + "xone"
+
+	shClass        = NS + "class"
+	shDatatype     = NS + "datatype"
+	shNodeKind     = NS + "nodeKind"
+	shMinExclusive = NS + "minExclusive"
+	shMaxExclusive = NS + "maxExclusive"
+	shMinInclusive = NS + "minInclusive"
+	shMaxInclusive = NS + "maxInclusive"
+	shMinLength    = NS + "minLength"
+	shMaxLength    = NS + "maxLength"
+	shPattern      = NS + "pattern"
+	shLanguageIn   = NS + "languageIn"
+	shUniqueLang   = NS + "uniqueLang"
+
+	shIRI                = NS + "IRI"
+	shBlankNode          = NS + "BlankNode"
+	shLiteral            = NS + "Literal"
+	shBlankNodeOrIRI     = NS + "BlankNodeOrIRI"
+	shBlankNodeOrLiteral = NS + "BlankNodeOrLiteral"
+	shIRIOrLiteral       = NS + "IRIOrLiteral"
+
+	shEquals           = NS + "equals"
+	shDisjoint         = NS + "disjoint"
+	shLessThan         = NS + "lessThan"
+	shLessThanOrEquals = NS + "lessThanOrEquals"
+
+	shMinCount = NS + "minCount"
+	shMaxCount = NS + "maxCount"
+
+	shQualifiedValueShape          = NS + "qualifiedValueShape"
+	shQualifiedMinCount            = NS + "qualifiedMinCount"
+	shQualifiedMaxCount            = NS + "qualifiedMaxCount"
+	shQualifiedValueShapesDisjoint = NS + "qualifiedValueShapesDisjoint"
+
+	shClosed            = NS + "closed"
+	shIgnoredProperties = NS + "ignoredProperties"
+	shHasValue          = NS + "hasValue"
+	shIn                = NS + "in"
+	shDeactivated       = NS + "deactivated"
+
+	shTargetNode       = NS + "targetNode"
+	shTargetClass      = NS + "targetClass"
+	shTargetSubjectsOf = NS + "targetSubjectsOf"
+	shTargetObjectsOf  = NS + "targetObjectsOf"
+
+	shInversePath     = NS + "inversePath"
+	shAlternativePath = NS + "alternativePath"
+	shZeroOrMorePath  = NS + "zeroOrMorePath"
+	shOneOrMorePath   = NS + "oneOrMorePath"
+	shZeroOrOnePath   = NS + "zeroOrOnePath"
+)
+
+// ParseSchema parses a SHACL shapes graph in Turtle syntax and translates
+// it into a formal schema.
+func ParseSchema(src string) (*schema.Schema, error) {
+	g, err := turtle.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Translate(g)
+}
+
+// Translate implements t(S): it translates a SHACL shapes graph into a
+// schema. Top-level definitions are created for every explicitly declared
+// shape (rdf:type sh:NodeShape/sh:PropertyShape), every shape with a target
+// declaration, and every shape referenced via sh:node or sh:property
+// (which translate to hasShape references and therefore need definitions).
+func Translate(g *rdfgraph.Graph) (*schema.Schema, error) {
+	tr := &translator{g: g, done: map[rdf.Term]bool{}}
+
+	roots := map[rdf.Term]bool{}
+	addSubjectsOf := func(pred string, requireShapeObject bool) {
+		pid := g.LookupTerm(rdf.NewIRI(pred))
+		if pid == rdfgraph.NoID {
+			return
+		}
+		for _, e := range g.EdgesByPredicate(pid) {
+			if requireShapeObject {
+				obj := g.Term(e.O)
+				if obj != rdf.NewIRI(shNodeShape) && obj != rdf.NewIRI(shPropertyShape) {
+					continue
+				}
+			}
+			roots[g.Term(e.S)] = true
+		}
+	}
+	addSubjectsOf(rdf.RDFType, true)
+	for _, t := range []string{shTargetNode, shTargetClass, shTargetSubjectsOf, shTargetObjectsOf} {
+		addSubjectsOf(t, false)
+	}
+	// Referenced shapes (objects of sh:node / sh:property) also become
+	// definitions, since the translation refers to them via hasShape.
+	for _, pred := range []string{shNode, shProperty} {
+		pid := g.LookupTerm(rdf.NewIRI(pred))
+		if pid == rdfgraph.NoID {
+			continue
+		}
+		for _, e := range g.EdgesByPredicate(pid) {
+			roots[g.Term(e.O)] = true
+		}
+	}
+
+	var defs []schema.Definition
+	var queue []rdf.Term
+	for root := range roots {
+		queue = append(queue, root)
+	}
+	// Sort for determinism.
+	sortTerms(queue)
+	seen := map[rdf.Term]bool{}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if tr.boolParam(name, shDeactivated) {
+			continue
+		}
+		phi, err := tr.translateShape(name)
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, schema.Definition{
+			Name:   name,
+			Shape:  phi,
+			Target: tr.target(name),
+		})
+		// Enqueue shapes referenced from this one so hasShape resolves.
+		for _, ref := range shape.ShapeRefs(phi) {
+			if !seen[ref] && tr.isShapeNode(ref) {
+				queue = append(queue, ref)
+			}
+		}
+	}
+	return schema.New(defs...)
+}
+
+type translator struct {
+	g    *rdfgraph.Graph
+	done map[rdf.Term]bool
+}
+
+// objects returns the objects of (x, pred, ·) in deterministic order.
+func (t *translator) objects(x rdf.Term, pred string) []rdf.Term {
+	xid := t.g.LookupTerm(x)
+	pid := t.g.LookupTerm(rdf.NewIRI(pred))
+	if xid == rdfgraph.NoID || pid == rdfgraph.NoID {
+		return nil
+	}
+	var out []rdf.Term
+	t.g.Objects(xid, pid, func(o rdfgraph.ID) { out = append(out, t.g.Term(o)) })
+	sortTerms(out)
+	return out
+}
+
+func sortTerms(ts []rdf.Term) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && rdf.Compare(ts[j], ts[j-1]) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// list reads an RDF collection starting at head.
+func (t *translator) list(head rdf.Term) ([]rdf.Term, error) {
+	var out []rdf.Term
+	for i := 0; ; i++ {
+		if i > 100000 {
+			return nil, fmt.Errorf("shaclsyn: list at %s is cyclic or too long", head)
+		}
+		if head == rdf.NewIRI(rdf.RDFNil) {
+			return out, nil
+		}
+		firsts := t.objects(head, rdf.RDFFirst)
+		rests := t.objects(head, rdf.RDFRest)
+		if len(firsts) != 1 || len(rests) != 1 {
+			return nil, fmt.Errorf("shaclsyn: malformed RDF list node %s", head)
+		}
+		out = append(out, firsts[0])
+		head = rests[0]
+	}
+}
+
+func (t *translator) boolParam(x rdf.Term, pred string) bool {
+	for _, o := range t.objects(x, pred) {
+		if o.IsLiteral() && o.Value == "true" {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *translator) intParam(o rdf.Term) (int, error) {
+	n, err := strconv.Atoi(o.Value)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("shaclsyn: bad count literal %s", o)
+	}
+	return n, nil
+}
+
+// isShapeNode reports whether x looks like a shape description (has any
+// SHACL parameter or declaration).
+func (t *translator) isShapeNode(x rdf.Term) bool {
+	xid := t.g.LookupTerm(x)
+	if xid == rdfgraph.NoID {
+		return false
+	}
+	found := false
+	t.g.PredicatesFrom(xid, func(p, _ rdfgraph.ID) {
+		iri := t.g.Term(p).Value
+		if len(iri) > len(NS) && iri[:len(NS)] == NS {
+			found = true
+		}
+	})
+	return found
+}
+
+// translateShape dispatches on the presence of sh:path: shapes with a path
+// are property shapes, others are node shapes.
+func (t *translator) translateShape(x rdf.Term) (shape.Shape, error) {
+	if len(t.objects(x, shPath)) > 0 {
+		return t.propertyShape(x)
+	}
+	return t.nodeShape(x)
+}
+
+// nodeShape implements t_nodeshape(d_x).
+func (t *translator) nodeShape(x rdf.Term) (shape.Shape, error) {
+	var conj []shape.Shape
+	add := func(s shape.Shape, err error) error {
+		if err != nil {
+			return err
+		}
+		if s != nil {
+			conj = append(conj, s)
+		}
+		return nil
+	}
+	if err := add(t.tShape(x)); err != nil {
+		return nil, err
+	}
+	if err := add(t.tLogic(x)); err != nil {
+		return nil, err
+	}
+	if err := add(t.tTests(x)); err != nil {
+		return nil, err
+	}
+	if err := add(t.tValue(x), nil); err != nil {
+		return nil, err
+	}
+	if err := add(t.tIn(x)); err != nil {
+		return nil, err
+	}
+	if err := add(t.tClosed(x)); err != nil {
+		return nil, err
+	}
+	if err := add(t.tPairID(x)); err != nil {
+		return nil, err
+	}
+	if err := add(t.tLanguageInNode(x)); err != nil {
+		return nil, err
+	}
+	return shape.AndOf(conj...), nil
+}
+
+// tShape implements t_shape: sh:node and sh:property become hasShape refs.
+func (t *translator) tShape(x rdf.Term) (shape.Shape, error) {
+	var conj []shape.Shape
+	for _, y := range t.objects(x, shNode) {
+		conj = append(conj, shape.Ref(y))
+	}
+	for _, y := range t.objects(x, shProperty) {
+		conj = append(conj, shape.Ref(y))
+	}
+	return shape.AndOf(conj...), nil
+}
+
+// tLogic implements t_logic: sh:and, sh:or, sh:xone, sh:not.
+func (t *translator) tLogic(x rdf.Term) (shape.Shape, error) {
+	var conj []shape.Shape
+	for _, y := range t.objects(x, shAnd) {
+		members, err := t.listShapes(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.AndOf(members...))
+	}
+	for _, y := range t.objects(x, shOr) {
+		members, err := t.listShapes(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.OrOf(members...))
+	}
+	for _, y := range t.objects(x, shXone) {
+		members, err := t.listShapes(y)
+		if err != nil {
+			return nil, err
+		}
+		// Exactly one: ⋁_a (a ∧ ⋀_{b≠a} ¬b).
+		var alts []shape.Shape
+		for i, a := range members {
+			parts := []shape.Shape{a}
+			for j, b := range members {
+				if i != j {
+					parts = append(parts, shape.Neg(b))
+				}
+			}
+			alts = append(alts, shape.AndOf(parts...))
+		}
+		conj = append(conj, shape.OrOf(alts...))
+	}
+	for _, y := range t.objects(x, shNot) {
+		inner, err := t.translateShape(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.Neg(inner))
+	}
+	return shape.AndOf(conj...), nil
+}
+
+func (t *translator) listShapes(head rdf.Term) ([]shape.Shape, error) {
+	items, err := t.list(head)
+	if err != nil {
+		return nil, err
+	}
+	var out []shape.Shape
+	for _, item := range items {
+		s, err := t.translateShape(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// tTests implements t_tests: value type, range and string constraints.
+func (t *translator) tTests(x rdf.Term) (shape.Shape, error) {
+	var conj []shape.Shape
+	for _, y := range t.objects(x, shClass) {
+		conj = append(conj, schema.TargetClass(y)) // same shape as a class target
+	}
+	for _, y := range t.objects(x, shDatatype) {
+		conj = append(conj, shape.NodeTestShape(shape.Datatype{IRI: y.Value}))
+	}
+	for _, y := range t.objects(x, shNodeKind) {
+		nt, err := nodeKindTest(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.NodeTestShape(nt))
+	}
+	for _, y := range t.objects(x, shMinExclusive) {
+		conj = append(conj, shape.NodeTestShape(shape.MinExclusive{Bound: y}))
+	}
+	for _, y := range t.objects(x, shMaxExclusive) {
+		conj = append(conj, shape.NodeTestShape(shape.MaxExclusive{Bound: y}))
+	}
+	for _, y := range t.objects(x, shMinInclusive) {
+		conj = append(conj, shape.NodeTestShape(shape.MinInclusive{Bound: y}))
+	}
+	for _, y := range t.objects(x, shMaxInclusive) {
+		conj = append(conj, shape.NodeTestShape(shape.MaxInclusive{Bound: y}))
+	}
+	for _, y := range t.objects(x, shMinLength) {
+		n, err := t.intParam(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.NodeTestShape(shape.MinLength{N: n}))
+	}
+	for _, y := range t.objects(x, shMaxLength) {
+		n, err := t.intParam(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.NodeTestShape(shape.MaxLength{N: n}))
+	}
+	for _, y := range t.objects(x, shPattern) {
+		p, err := shape.NewPattern(y.Value)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.NodeTestShape(p))
+	}
+	return shape.AndOf(conj...), nil
+}
+
+func nodeKindTest(kind rdf.Term) (shape.NodeTest, error) {
+	switch kind.Value {
+	case shIRI:
+		return shape.IsIRI{}, nil
+	case shBlankNode:
+		return shape.IsBlank{}, nil
+	case shLiteral:
+		return shape.IsLiteral{}, nil
+	case shBlankNodeOrIRI:
+		return shape.AnyOf{Tests: []shape.NodeTest{shape.IsBlank{}, shape.IsIRI{}}}, nil
+	case shBlankNodeOrLiteral:
+		return shape.AnyOf{Tests: []shape.NodeTest{shape.IsBlank{}, shape.IsLiteral{}}}, nil
+	case shIRIOrLiteral:
+		return shape.AnyOf{Tests: []shape.NodeTest{shape.IsIRI{}, shape.IsLiteral{}}}, nil
+	default:
+		return nil, fmt.Errorf("shaclsyn: unknown sh:nodeKind %s", kind)
+	}
+}
+
+// tValue implements t_value: sh:hasValue on a node shape.
+func (t *translator) tValue(x rdf.Term) shape.Shape {
+	var conj []shape.Shape
+	for _, y := range t.objects(x, shHasValue) {
+		conj = append(conj, shape.Value(y))
+	}
+	return shape.AndOf(conj...)
+}
+
+// tIn implements t_in: sh:in lists become disjunctions of hasValue.
+func (t *translator) tIn(x rdf.Term) (shape.Shape, error) {
+	var conj []shape.Shape
+	for _, y := range t.objects(x, shIn) {
+		items, err := t.list(y)
+		if err != nil {
+			return nil, err
+		}
+		var alts []shape.Shape
+		for _, item := range items {
+			alts = append(alts, shape.Value(item))
+		}
+		conj = append(conj, shape.OrOf(alts...))
+	}
+	return shape.AndOf(conj...), nil
+}
+
+// tClosed implements t_closed: allowed properties are the direct-IRI paths
+// of the shape's property shapes plus sh:ignoredProperties.
+func (t *translator) tClosed(x rdf.Term) (shape.Shape, error) {
+	if !t.boolParam(x, shClosed) {
+		return shape.AndOf(), nil
+	}
+	var allowed []string
+	for _, y := range t.objects(x, shProperty) {
+		for _, pp := range t.objects(y, shPath) {
+			if pp.IsIRI() {
+				allowed = append(allowed, pp.Value)
+			}
+		}
+	}
+	for _, y := range t.objects(x, shIgnoredProperties) {
+		items, err := t.list(y)
+		if err != nil {
+			return nil, err
+		}
+		for _, item := range items {
+			allowed = append(allowed, item.Value)
+		}
+	}
+	return shape.ClosedShape(allowed...), nil
+}
+
+// tPairID implements t_pair(id, d_x) for node shapes.
+func (t *translator) tPairID(x rdf.Term) (shape.Shape, error) {
+	if len(t.objects(x, shLessThan)) > 0 || len(t.objects(x, shLessThanOrEquals)) > 0 {
+		// lessThan on a node shape is undefined; Appendix A maps it to ⊥.
+		return shape.FalseShape(), nil
+	}
+	var conj []shape.Shape
+	for _, p := range t.objects(x, shEquals) {
+		conj = append(conj, shape.EqID(p.Value))
+	}
+	for _, p := range t.objects(x, shDisjoint) {
+		conj = append(conj, shape.DisjID(p.Value))
+	}
+	return shape.AndOf(conj...), nil
+}
+
+// tLanguageInNode handles sh:languageIn on a node shape: the focus node
+// itself must carry one of the tags.
+func (t *translator) tLanguageInNode(x rdf.Term) (shape.Shape, error) {
+	var conj []shape.Shape
+	for _, y := range t.objects(x, shLanguageIn) {
+		items, err := t.list(y)
+		if err != nil {
+			return nil, err
+		}
+		var alts []shape.Shape
+		for _, item := range items {
+			alts = append(alts, shape.NodeTestShape(shape.HasLang{Tag: item.Value}))
+		}
+		conj = append(conj, shape.OrOf(alts...))
+	}
+	return shape.AndOf(conj...), nil
+}
+
+// propertyShape implements t_propertyshape(d_x).
+func (t *translator) propertyShape(x rdf.Term) (shape.Shape, error) {
+	pps := t.objects(x, shPath)
+	if len(pps) != 1 {
+		return nil, fmt.Errorf("shaclsyn: property shape %s must have exactly one sh:path", x)
+	}
+	e, err := t.path(pps[0])
+	if err != nil {
+		return nil, err
+	}
+	var conj []shape.Shape
+
+	// t_card
+	for _, y := range t.objects(x, shMinCount) {
+		n, err := t.intParam(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.Min(n, e, shape.TrueShape()))
+	}
+	for _, y := range t.objects(x, shMaxCount) {
+		n, err := t.intParam(y)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, shape.Max(n, e, shape.TrueShape()))
+	}
+
+	// t_pair(E, d_x)
+	for _, p := range t.objects(x, shEquals) {
+		conj = append(conj, shape.EqPath(e, p.Value))
+	}
+	for _, p := range t.objects(x, shDisjoint) {
+		conj = append(conj, shape.DisjPath(e, p.Value))
+	}
+	for _, p := range t.objects(x, shLessThan) {
+		conj = append(conj, shape.Less(e, p.Value))
+	}
+	for _, p := range t.objects(x, shLessThanOrEquals) {
+		conj = append(conj, shape.LessEq(e, p.Value))
+	}
+
+	// t_qual
+	qual, err := t.tQual(x, e)
+	if err != nil {
+		return nil, err
+	}
+	conj = append(conj, qual)
+
+	// t_all: node-shape components universally applied over the values.
+	body, err := t.allBody(x)
+	if err != nil {
+		return nil, err
+	}
+	if _, isTrue := body.(*shape.True); !isTrue {
+		conj = append(conj, shape.All(e, body))
+	}
+	// sh:hasValue on a property shape is existential, not universal.
+	for _, y := range t.objects(x, shHasValue) {
+		conj = append(conj, shape.Min(1, e, shape.Value(y)))
+	}
+
+	// t_uniquelang
+	if t.boolParam(x, shUniqueLang) {
+		conj = append(conj, shape.UniqueLangShape(e))
+	}
+	return shape.AndOf(conj...), nil
+}
+
+// allBody builds t_shape ∧ t_logic ∧ t_tests ∧ t_in ∧ t_closed ∧
+// t_languagein for universal application over the path values.
+func (t *translator) allBody(x rdf.Term) (shape.Shape, error) {
+	var conj []shape.Shape
+	parts := []func(rdf.Term) (shape.Shape, error){
+		t.tShape, t.tLogic, t.tTests, t.tIn, t.tClosed, t.tLanguageInNode,
+	}
+	for _, f := range parts {
+		s, err := f(x)
+		if err != nil {
+			return nil, err
+		}
+		conj = append(conj, s)
+	}
+	return shape.AndOf(conj...), nil
+}
+
+// tQual implements t_qual: qualified value shapes with optional sibling
+// exclusion.
+func (t *translator) tQual(x rdf.Term, e paths.Expr) (shape.Shape, error) {
+	quals := t.objects(x, shQualifiedValueShape)
+	if len(quals) == 0 {
+		return shape.AndOf(), nil
+	}
+	var sibl []shape.Shape
+	if t.boolParam(x, shQualifiedValueShapesDisjoint) {
+		// Siblings: qualified value shapes of other property shapes of the
+		// parents of x.
+		for _, parent := range t.subjectsOf(shProperty, x) {
+			for _, otherPS := range t.objects(parent, shProperty) {
+				if otherPS == x {
+					continue
+				}
+				for _, w := range t.objects(otherPS, shQualifiedValueShape) {
+					sibl = append(sibl, shape.Ref(w))
+				}
+			}
+		}
+	}
+	var conj []shape.Shape
+	for _, y := range quals {
+		body := shape.Ref(y)
+		if len(sibl) > 0 {
+			parts := []shape.Shape{body}
+			for _, s := range sibl {
+				parts = append(parts, shape.Neg(s))
+			}
+			body = shape.AndOf(parts...)
+		}
+		for _, zt := range t.objects(x, shQualifiedMinCount) {
+			z, err := t.intParam(zt)
+			if err != nil {
+				return nil, err
+			}
+			conj = append(conj, shape.Min(z, e, body))
+		}
+		for _, zt := range t.objects(x, shQualifiedMaxCount) {
+			z, err := t.intParam(zt)
+			if err != nil {
+				return nil, err
+			}
+			conj = append(conj, shape.Max(z, e, body))
+		}
+	}
+	return shape.AndOf(conj...), nil
+}
+
+func (t *translator) subjectsOf(pred string, obj rdf.Term) []rdf.Term {
+	pid := t.g.LookupTerm(rdf.NewIRI(pred))
+	oid := t.g.LookupTerm(obj)
+	if pid == rdfgraph.NoID || oid == rdfgraph.NoID {
+		return nil
+	}
+	var out []rdf.Term
+	t.g.Subjects(pid, oid, func(s rdfgraph.ID) { out = append(out, t.g.Term(s)) })
+	sortTerms(out)
+	return out
+}
+
+// path implements t_path(pp).
+func (t *translator) path(pp rdf.Term) (paths.Expr, error) {
+	if pp.IsIRI() {
+		return paths.P(pp.Value), nil
+	}
+	if ys := t.objects(pp, shInversePath); len(ys) == 1 {
+		inner, err := t.path(ys[0])
+		if err != nil {
+			return nil, err
+		}
+		return paths.Inv(inner), nil
+	}
+	if ys := t.objects(pp, shZeroOrMorePath); len(ys) == 1 {
+		inner, err := t.path(ys[0])
+		if err != nil {
+			return nil, err
+		}
+		return paths.Star{X: inner}, nil
+	}
+	if ys := t.objects(pp, shOneOrMorePath); len(ys) == 1 {
+		inner, err := t.path(ys[0])
+		if err != nil {
+			return nil, err
+		}
+		return paths.Seq{Left: inner, Right: paths.Star{X: inner}}, nil
+	}
+	if ys := t.objects(pp, shZeroOrOnePath); len(ys) == 1 {
+		inner, err := t.path(ys[0])
+		if err != nil {
+			return nil, err
+		}
+		return paths.ZeroOrOne{X: inner}, nil
+	}
+	if ys := t.objects(pp, shAlternativePath); len(ys) == 1 {
+		items, err := t.list(ys[0])
+		if err != nil {
+			return nil, err
+		}
+		var parts []paths.Expr
+		for _, item := range items {
+			p, err := t.path(item)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		if len(parts) == 0 {
+			return nil, fmt.Errorf("shaclsyn: empty sh:alternativePath at %s", pp)
+		}
+		return paths.AltOf(parts...), nil
+	}
+	// A blank node that is an RDF list encodes a sequence path.
+	if len(t.objects(pp, rdf.RDFFirst)) == 1 {
+		items, err := t.list(pp)
+		if err != nil {
+			return nil, err
+		}
+		var parts []paths.Expr
+		for _, item := range items {
+			p, err := t.path(item)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		}
+		if len(parts) == 0 {
+			return nil, fmt.Errorf("shaclsyn: empty sequence path at %s", pp)
+		}
+		return paths.SeqOf(parts...), nil
+	}
+	return nil, fmt.Errorf("shaclsyn: unrecognized property path at %s", pp)
+}
+
+// target implements t_target(d_x): the disjunction of the four target
+// declarations, or ⊥ when none is present.
+func (t *translator) target(x rdf.Term) shape.Shape {
+	var alts []shape.Shape
+	for _, y := range t.objects(x, shTargetNode) {
+		alts = append(alts, schema.TargetNode(y))
+	}
+	for _, y := range t.objects(x, shTargetClass) {
+		alts = append(alts, schema.TargetClass(y))
+	}
+	for _, y := range t.objects(x, shTargetSubjectsOf) {
+		alts = append(alts, schema.TargetSubjectsOf(y.Value))
+	}
+	for _, y := range t.objects(x, shTargetObjectsOf) {
+		alts = append(alts, schema.TargetObjectsOf(y.Value))
+	}
+	if len(alts) == 0 {
+		return shape.FalseShape()
+	}
+	return shape.OrOf(alts...)
+}

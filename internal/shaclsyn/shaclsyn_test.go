@@ -1,0 +1,422 @@
+package shaclsyn_test
+
+import (
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/turtle"
+)
+
+const prelude = `
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://x/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+`
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+
+func mustSchema(t *testing.T, src string) *schema.Schema {
+	t.Helper()
+	h, err := shaclsyn.ParseSchema(prelude + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func mustData(t *testing.T, src string) *rdfgraph.Graph {
+	t.Helper()
+	g, err := turtle.Parse(prelude + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// validate validates data against a shapes graph and returns conformance.
+func validate(t *testing.T, shapesSrc, dataSrc string) *schema.Report {
+	t.Helper()
+	return mustSchema(t, shapesSrc).Validate(mustData(t, dataSrc))
+}
+
+func TestWorkshopShapeFromIntroduction(t *testing.T) {
+	// The paper's Example 1.1 shapes graph, verbatim structure.
+	shapes := `
+ex:WorkshopShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [
+    sh:path ex:author ; sh:qualifiedMinCount 1 ;
+    sh:qualifiedValueShape [ sh:class ex:Student ] ] .
+`
+	good := `
+ex:p1 rdf:type ex:Paper ; ex:author ex:bob .
+ex:bob rdf:type ex:Student .
+`
+	bad := `
+ex:p1 rdf:type ex:Paper ; ex:author ex:anne .
+ex:anne rdf:type ex:Professor .
+`
+	if r := validate(t, shapes, good); !r.Conforms {
+		t.Errorf("good graph must conform: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, bad); r.Conforms {
+		t.Error("bad graph must not conform")
+	}
+}
+
+func TestHappyAtWorkShape(t *testing.T) {
+	// Example 2.2's ¬disj(friend, colleague) in real syntax.
+	shapes := `
+ex:HappyAtWork a sh:NodeShape ;
+  sh:targetSubjectsOf ex:friend ;
+  sh:not [ sh:path ex:friend ; sh:disjoint ex:colleague ] .
+`
+	good := `ex:v ex:friend ex:x . ex:v ex:colleague ex:x .`
+	bad := `ex:v ex:friend ex:x . ex:v ex:colleague ex:y .`
+	if r := validate(t, shapes, good); !r.Conforms {
+		t.Errorf("overlapping friend/colleague must conform: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, bad); r.Conforms {
+		t.Error("disjoint friend/colleague must violate")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:property [ sh:path ex:p ; sh:minCount 1 ; sh:maxCount 2 ] .
+`
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:p ex:x .`); !r.Conforms {
+		t.Errorf("1 value conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:T .`); r.Conforms {
+		t.Error("0 values must violate minCount")
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:p ex:x , ex:y , ex:z .`); r.Conforms {
+		t.Error("3 values must violate maxCount")
+	}
+}
+
+func TestDatatypeAndNodeKind(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetSubjectsOf ex:age ;
+  sh:property [ sh:path ex:age ; sh:datatype xsd:integer ] ;
+  sh:property [ sh:path ex:friend ; sh:nodeKind sh:IRI ] .
+`
+	if r := validate(t, shapes, `ex:a ex:age 30 ; ex:friend ex:b .`); !r.Conforms {
+		t.Errorf("typed data conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a ex:age "thirty" .`); r.Conforms {
+		t.Error("string age must violate datatype")
+	}
+	if r := validate(t, shapes, `ex:a ex:age 30 ; ex:friend "bob" .`); r.Conforms {
+		t.Error("literal friend must violate nodeKind")
+	}
+}
+
+func TestValueRanges(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetSubjectsOf ex:score ;
+  sh:property [ sh:path ex:score ; sh:minInclusive 0 ; sh:maxExclusive 100 ] .
+`
+	if r := validate(t, shapes, `ex:a ex:score 0 . ex:b ex:score 99 .`); !r.Conforms {
+		t.Errorf("in-range conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a ex:score 100 .`); r.Conforms {
+		t.Error("100 violates maxExclusive")
+	}
+	if r := validate(t, shapes, `ex:a ex:score -1 .`); r.Conforms {
+		t.Error("-1 violates minInclusive")
+	}
+}
+
+func TestStringFacets(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetSubjectsOf ex:code ;
+  sh:property [ sh:path ex:code ; sh:pattern "^[A-Z]+$" ; sh:minLength 2 ; sh:maxLength 4 ] .
+`
+	if r := validate(t, shapes, `ex:a ex:code "ABC" .`); !r.Conforms {
+		t.Errorf("ABC conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a ex:code "abc" .`); r.Conforms {
+		t.Error("lowercase violates pattern")
+	}
+	if r := validate(t, shapes, `ex:a ex:code "A" .`); r.Conforms {
+		t.Error("too short violates minLength")
+	}
+	if r := validate(t, shapes, `ex:a ex:code "ABCDE" .`); r.Conforms {
+		t.Error("too long violates maxLength")
+	}
+}
+
+func TestLogicalConstraints(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:or ( [ sh:path ex:p ; sh:minCount 1 ] [ sh:path ex:q ; sh:minCount 1 ] ) ;
+  sh:not [ sh:path ex:bad ; sh:minCount 1 ] .
+`
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:p ex:x .`); !r.Conforms {
+		t.Errorf("p-branch conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:q ex:x .`); !r.Conforms {
+		t.Errorf("q-branch conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:T .`); r.Conforms {
+		t.Error("neither branch must violate or")
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:p ex:x ; ex:bad ex:y .`); r.Conforms {
+		t.Error("bad property must violate not")
+	}
+}
+
+func TestXone(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:xone ( [ sh:path ex:p ; sh:minCount 1 ] [ sh:path ex:q ; sh:minCount 1 ] ) .
+`
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:p ex:x .`); !r.Conforms {
+		t.Errorf("exactly one conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:p ex:x ; ex:q ex:y .`); r.Conforms {
+		t.Error("both must violate xone")
+	}
+	if r := validate(t, shapes, `ex:a a ex:T .`); r.Conforms {
+		t.Error("neither must violate xone")
+	}
+}
+
+func TestClosed(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:closed true ;
+  sh:ignoredProperties ( rdf:type ) ;
+  sh:property [ sh:path ex:p ; sh:minCount 0 ] .
+`
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:p ex:x .`); !r.Conforms {
+		t.Errorf("declared property conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:q ex:x .`); r.Conforms {
+		t.Error("undeclared property must violate closed")
+	}
+}
+
+func TestPairConstraints(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:property [ sh:path ex:first ; sh:lessThan ex:second ] ;
+  sh:property [ sh:path ex:alias ; sh:equals ex:name ] .
+`
+	good := `ex:a a ex:T ; ex:first 1 ; ex:second 2 ; ex:alias "x" ; ex:name "x" .`
+	if r := validate(t, shapes, good); !r.Conforms {
+		t.Errorf("ordered pairs conform: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:first 3 ; ex:second 2 .`); r.Conforms {
+		t.Error("unordered pair must violate lessThan")
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:alias "x" ; ex:name "y" .`); r.Conforms {
+		t.Error("different values must violate equals")
+	}
+}
+
+func TestHasValueAndIn(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:property [ sh:path ex:status ; sh:hasValue ex:active ] ;
+  sh:property [ sh:path ex:color ; sh:in ( ex:red ex:green ) ] .
+`
+	good := `ex:a a ex:T ; ex:status ex:active , ex:other ; ex:color ex:red .`
+	if r := validate(t, shapes, good); !r.Conforms {
+		t.Errorf("good graph conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:status ex:inactive .`); r.Conforms {
+		t.Error("missing hasValue must violate")
+	}
+	if r := validate(t, shapes, `ex:a a ex:T ; ex:status ex:active ; ex:color ex:blue .`); r.Conforms {
+		t.Error("blue must violate sh:in")
+	}
+}
+
+func TestUniqueLangAndLanguageIn(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetSubjectsOf ex:label ;
+  sh:property [ sh:path ex:label ; sh:uniqueLang true ; sh:languageIn ( "en" "nl" ) ] .
+`
+	if r := validate(t, shapes, `ex:a ex:label "hi"@en , "hoi"@nl .`); !r.Conforms {
+		t.Errorf("unique languages conform: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a ex:label "hi"@en , "hello"@en .`); r.Conforms {
+		t.Error("duplicate language must violate uniqueLang")
+	}
+	if r := validate(t, shapes, `ex:a ex:label "bonjour"@fr .`); r.Conforms {
+		t.Error("french label must violate languageIn")
+	}
+}
+
+func TestPropertyPaths(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:targetClass ex:T ;
+  sh:property [ sh:path ( ex:knows ex:name ) ; sh:minCount 1 ] ;
+  sh:property [ sh:path [ sh:inversePath ex:manages ] ; sh:maxCount 1 ] ;
+  sh:property [ sh:path [ sh:zeroOrMorePath ex:part ] ; sh:nodeKind sh:IRI ] .
+`
+	good := `
+ex:a a ex:T ; ex:knows ex:b .
+ex:b ex:name "B" .
+ex:boss ex:manages ex:a .
+`
+	if r := validate(t, shapes, good); !r.Conforms {
+		t.Errorf("good graph conforms: %+v", r.Violations())
+	}
+	bad := `
+ex:a a ex:T ; ex:knows ex:b .
+ex:b ex:name "B" .
+ex:boss1 ex:manages ex:a . ex:boss2 ex:manages ex:a .
+`
+	if r := validate(t, shapes, bad); r.Conforms {
+		t.Error("two managers must violate inverse-path maxCount")
+	}
+}
+
+func TestNodeReference(t *testing.T) {
+	shapes := `
+ex:Address a sh:NodeShape ;
+  sh:property [ sh:path ex:city ; sh:minCount 1 ] .
+ex:Person a sh:NodeShape ;
+  sh:targetClass ex:P ;
+  sh:property [ sh:path ex:address ; sh:minCount 1 ; sh:node ex:Address ] .
+`
+	good := `ex:a a ex:P ; ex:address ex:addr . ex:addr ex:city ex:ghent .`
+	if r := validate(t, shapes, good); !r.Conforms {
+		t.Errorf("good graph conforms: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:a a ex:P ; ex:address ex:addr .`); r.Conforms {
+		t.Error("address without city must violate")
+	}
+}
+
+func TestTargetForms(t *testing.T) {
+	shapes := `
+ex:S1 a sh:NodeShape ; sh:targetNode ex:n ; sh:property [ sh:path ex:p ; sh:minCount 1 ] .
+ex:S2 a sh:NodeShape ; sh:targetObjectsOf ex:q ; sh:property [ sh:path ex:p ; sh:minCount 1 ] .
+`
+	data := `
+ex:n ex:p ex:x .
+ex:src ex:q ex:obj . ex:obj ex:p ex:x .
+`
+	if r := validate(t, shapes, data); !r.Conforms {
+		t.Errorf("all targets conform: %+v", r.Violations())
+	}
+	if r := validate(t, shapes, `ex:src ex:q ex:obj .`); r.Conforms {
+		t.Error("targetNode ex:n (absent from data) and ex:obj must violate")
+	}
+}
+
+func TestDeactivatedShapeSkipped(t *testing.T) {
+	shapes := `
+ex:S a sh:NodeShape ;
+  sh:deactivated true ;
+  sh:targetClass ex:T ;
+  sh:property [ sh:path ex:p ; sh:minCount 5 ] .
+`
+	if r := validate(t, shapes, `ex:a a ex:T .`); !r.Conforms {
+		t.Error("deactivated shapes must not be validated")
+	}
+}
+
+func TestQualifiedValueShapesDisjoint(t *testing.T) {
+	// Sibling exclusion: the hand must have 1 thumb (and the thumb does not
+	// count toward the 4 fingers).
+	shapes := `
+ex:Hand a sh:NodeShape ;
+  sh:targetClass ex:Hand ;
+  sh:property ex:ThumbProp ;
+  sh:property ex:FingerProp .
+ex:ThumbProp sh:path ex:digit ;
+  sh:qualifiedValueShape ex:Thumb ;
+  sh:qualifiedValueShapesDisjoint true ;
+  sh:qualifiedMinCount 1 ; sh:qualifiedMaxCount 1 .
+ex:FingerProp sh:path ex:digit ;
+  sh:qualifiedValueShape ex:Finger ;
+  sh:qualifiedValueShapesDisjoint true ;
+  sh:qualifiedMinCount 4 ; sh:qualifiedMaxCount 4 .
+ex:Thumb a sh:NodeShape ; sh:property [ sh:path ex:kind ; sh:hasValue ex:thumb ] .
+ex:Finger a sh:NodeShape ; sh:property [ sh:path ex:kind ; sh:hasValue ex:finger ] .
+`
+	good := `
+ex:h a ex:Hand ; ex:digit ex:d1 , ex:d2 , ex:d3 , ex:d4 , ex:d5 .
+ex:d1 ex:kind ex:thumb .
+ex:d2 ex:kind ex:finger . ex:d3 ex:kind ex:finger .
+ex:d4 ex:kind ex:finger . ex:d5 ex:kind ex:finger .
+`
+	if r := validate(t, shapes, good); !r.Conforms {
+		t.Errorf("five digits conform: %+v", r.Violations())
+	}
+	bad := `
+ex:h a ex:Hand ; ex:digit ex:d1 , ex:d2 .
+ex:d1 ex:kind ex:thumb .
+ex:d2 ex:kind ex:finger .
+`
+	if r := validate(t, shapes, bad); r.Conforms {
+		t.Error("two digits must violate finger count")
+	}
+}
+
+func TestTranslationErrors(t *testing.T) {
+	bad := []string{
+		// two sh:path values
+		`ex:S a sh:PropertyShape ; sh:path ex:p ; sh:path ex:q ; sh:targetClass ex:T .`,
+		// bad count
+		`ex:S a sh:NodeShape ; sh:targetClass ex:T ; sh:property [ sh:path ex:p ; sh:minCount "x" ] .`,
+		// bad pattern
+		`ex:S a sh:NodeShape ; sh:targetClass ex:T ; sh:pattern "(" .`,
+		// unknown node kind
+		`ex:S a sh:NodeShape ; sh:targetClass ex:T ; sh:nodeKind ex:Weird .`,
+	}
+	for _, src := range bad {
+		if _, err := shaclsyn.ParseSchema(prelude + src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestShapeNamesExposed(t *testing.T) {
+	h := mustSchema(t, `
+ex:S a sh:NodeShape ; sh:targetClass ex:T ;
+  sh:property [ sh:path ex:p ; sh:minCount 1 ] .
+`)
+	def, ok := h.Def(iri("S"))
+	if !ok {
+		t.Fatal("named shape must be defined")
+	}
+	// Per Appendix A, sh:property becomes a hasShape reference whose target
+	// (the bracketed property shape) is itself defined in the schema.
+	refs := shape.ShapeRefs(def)
+	if len(refs) != 1 {
+		t.Fatalf("expected one hasShape reference, got %v", refs)
+	}
+	inner, ok := h.Def(refs[0])
+	if !ok {
+		t.Fatalf("referenced property shape %s must be defined", refs[0])
+	}
+	if !strings.Contains(inner.String(), "≥1") {
+		t.Errorf("inner shape = %s, want a ≥1 constraint", inner)
+	}
+}

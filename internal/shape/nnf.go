@@ -1,0 +1,117 @@
+package shape
+
+// NNF rewrites φ into negation normal form: negation applied only to
+// atomic shapes (the first three production lines of the grammar). The
+// rewriting preserves the overall syntactic structure and semantics:
+//
+//	¬(φ ∧ ψ) ≡ ¬φ ∨ ¬ψ            ¬(φ ∨ ψ) ≡ ¬φ ∧ ¬ψ
+//	¬≥n+1 E.ψ ≡ ≤n E.ψ            ¬≥0 E.ψ ≡ ⊥
+//	¬≤n E.ψ ≡ ≥n+1 E.ψ            ¬∀E.ψ ≡ ≥1 E.¬ψ
+//	¬¬φ ≡ φ                        ¬⊤ ≡ ⊥, ¬⊥ ≡ ⊤
+//
+// NNF also recurses into quantifier bodies, so the result is in NNF at
+// every level. hasShape references are left in place; Definition 3.2
+// resolves and normalizes them lazily via the schema.
+func NNF(phi Shape) Shape {
+	return nnf(phi, false)
+}
+
+// nnf computes NNF(φ) when neg is false, and NNF(¬φ) when neg is true.
+func nnf(phi Shape, neg bool) Shape {
+	switch x := phi.(type) {
+	case *True:
+		if neg {
+			return &False{}
+		}
+		return phi
+	case *False:
+		if neg {
+			return &True{}
+		}
+		return phi
+	case *HasShape, *Test, *HasValue, *Eq, *Disj, *Closed, *LessThan, *LessThanEq, *UniqueLang, *MoreThan, *MoreThanEq:
+		if neg {
+			return &Not{X: phi}
+		}
+		return phi
+	case *Not:
+		return nnf(x.X, !neg)
+	case *And:
+		out, changed := nnfChildren(x.Xs, neg)
+		if neg {
+			return OrOf(out...)
+		}
+		if !changed {
+			return phi // identity-preserving: NNF(NNF(φ)) shares nodes
+		}
+		return AndOf(out...)
+	case *Or:
+		out, changed := nnfChildren(x.Xs, neg)
+		if neg {
+			return AndOf(out...)
+		}
+		if !changed {
+			return phi
+		}
+		return OrOf(out...)
+	case *MinCount:
+		if neg {
+			if x.N == 0 {
+				// ¬≥0 E.ψ is unsatisfiable.
+				return &False{}
+			}
+			return &MaxCount{N: x.N - 1, Path: x.Path, X: nnf(x.X, false)}
+		}
+		if sub := nnf(x.X, false); sub != x.X {
+			return &MinCount{N: x.N, Path: x.Path, X: sub}
+		}
+		return phi
+	case *MaxCount:
+		if neg {
+			return &MinCount{N: x.N + 1, Path: x.Path, X: nnf(x.X, false)}
+		}
+		if sub := nnf(x.X, false); sub != x.X {
+			return &MaxCount{N: x.N, Path: x.Path, X: sub}
+		}
+		return phi
+	case *Forall:
+		if neg {
+			return &MinCount{N: 1, Path: x.Path, X: nnf(x.X, true)}
+		}
+		if sub := nnf(x.X, false); sub != x.X {
+			return &Forall{Path: x.Path, X: sub}
+		}
+		return phi
+	}
+	panic("shape: unknown shape type in NNF")
+}
+
+// nnfChildren normalizes a child list, reporting whether any child changed.
+func nnfChildren(xs []Shape, neg bool) ([]Shape, bool) {
+	out := make([]Shape, len(xs))
+	changed := false
+	for i, c := range xs {
+		out[i] = nnf(c, neg)
+		if out[i] != c {
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// IsNNF reports whether φ is in negation normal form.
+func IsNNF(phi Shape) bool {
+	ok := true
+	Walk(phi, func(s Shape) {
+		if n, isNot := s.(*Not); isNot {
+			switch n.X.(type) {
+			case *HasShape, *Test, *HasValue, *Eq, *Disj, *Closed,
+				*LessThan, *LessThanEq, *UniqueLang, *MoreThan, *MoreThanEq:
+				// negated atom: fine
+			default:
+				ok = false
+			}
+		}
+	})
+	return ok
+}

@@ -1,0 +1,173 @@
+package shape
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"unicode/utf8"
+
+	"shaclfrag/internal/rdf"
+)
+
+// NodeTest is an element of the abstract set Ω of node tests: a decidable
+// predicate on a single node, independent of the graph. The concrete tests
+// below cover what Appendix A needs to translate real SHACL: node kinds,
+// classes of literals, value ranges, string facets and language tags.
+type NodeTest interface {
+	fmt.Stringer
+	// Holds reports whether the node satisfies the test.
+	Holds(t rdf.Term) bool
+}
+
+// IsIRI tests that the node is an IRI (sh:nodeKind sh:IRI).
+type IsIRI struct{}
+
+func (IsIRI) Holds(t rdf.Term) bool { return t.IsIRI() }
+func (IsIRI) String() string        { return "isIRI" }
+
+// IsLiteral tests that the node is a literal (sh:nodeKind sh:Literal).
+type IsLiteral struct{}
+
+func (IsLiteral) Holds(t rdf.Term) bool { return t.IsLiteral() }
+func (IsLiteral) String() string        { return "isLiteral" }
+
+// IsBlank tests that the node is a blank node (sh:nodeKind sh:BlankNode).
+type IsBlank struct{}
+
+func (IsBlank) Holds(t rdf.Term) bool { return t.IsBlank() }
+func (IsBlank) String() string        { return "isBlank" }
+
+// AnyOf is the disjunction of several node tests, used for compound node
+// kinds such as sh:BlankNodeOrIRI.
+type AnyOf struct {
+	Tests []NodeTest
+}
+
+func (a AnyOf) Holds(t rdf.Term) bool {
+	for _, nt := range a.Tests {
+		if nt.Holds(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a AnyOf) String() string {
+	parts := make([]string, len(a.Tests))
+	for i, nt := range a.Tests {
+		parts[i] = nt.String()
+	}
+	return "anyOf(" + strings.Join(parts, ", ") + ")"
+}
+
+// Datatype tests that the node is a literal with the given datatype
+// (sh:datatype).
+type Datatype struct {
+	IRI string
+}
+
+func (d Datatype) Holds(t rdf.Term) bool {
+	return t.IsLiteral() && t.Datatype == d.IRI
+}
+
+func (d Datatype) String() string { return "datatype(<" + d.IRI + ">)" }
+
+// HasLang tests that the node is a literal tagged with the given language
+// (case-insensitive; sh:languageIn members).
+type HasLang struct {
+	Tag string
+}
+
+func (h HasLang) Holds(t rdf.Term) bool {
+	return t.IsLiteral() && t.Lang != "" && strings.EqualFold(t.Lang, h.Tag)
+}
+
+func (h HasLang) String() string { return "lang(" + h.Tag + ")" }
+
+// Pattern tests the node's lexical form against a regular expression
+// (sh:pattern). Compile with NewPattern.
+type Pattern struct {
+	Source string
+	re     *regexp.Regexp
+}
+
+// NewPattern compiles a pattern node test.
+func NewPattern(source string) (*Pattern, error) {
+	re, err := regexp.Compile(source)
+	if err != nil {
+		return nil, fmt.Errorf("shape: bad pattern %q: %w", source, err)
+	}
+	return &Pattern{Source: source, re: re}, nil
+}
+
+// MustPattern is NewPattern panicking on error.
+func MustPattern(source string) *Pattern {
+	p, err := NewPattern(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Pattern) Holds(t rdf.Term) bool {
+	if t.IsBlank() {
+		return false // blank nodes have no usable lexical form
+	}
+	return p.re.MatchString(t.Value)
+}
+
+func (p *Pattern) String() string { return "pattern(" + p.Source + ")" }
+
+// MinLength tests the length of the node's lexical form (sh:minLength).
+type MinLength struct {
+	N int
+}
+
+func (m MinLength) Holds(t rdf.Term) bool {
+	return !t.IsBlank() && utf8.RuneCountInString(t.Value) >= m.N
+}
+
+func (m MinLength) String() string { return fmt.Sprintf("minLength(%d)", m.N) }
+
+// MaxLength tests the length of the node's lexical form (sh:maxLength).
+type MaxLength struct {
+	N int
+}
+
+func (m MaxLength) Holds(t rdf.Term) bool {
+	return !t.IsBlank() && utf8.RuneCountInString(t.Value) <= m.N
+}
+
+func (m MaxLength) String() string { return fmt.Sprintf("maxLength(%d)", m.N) }
+
+// MinExclusive tests Bound < node under the literal order (sh:minExclusive).
+type MinExclusive struct {
+	Bound rdf.Term
+}
+
+func (m MinExclusive) Holds(t rdf.Term) bool { return rdf.Less(m.Bound, t) }
+func (m MinExclusive) String() string        { return "minExclusive(" + m.Bound.String() + ")" }
+
+// MaxExclusive tests node < Bound (sh:maxExclusive).
+type MaxExclusive struct {
+	Bound rdf.Term
+}
+
+func (m MaxExclusive) Holds(t rdf.Term) bool { return rdf.Less(t, m.Bound) }
+func (m MaxExclusive) String() string        { return "maxExclusive(" + m.Bound.String() + ")" }
+
+// MinInclusive tests Bound ≤ node (sh:minInclusive).
+type MinInclusive struct {
+	Bound rdf.Term
+}
+
+func (m MinInclusive) Holds(t rdf.Term) bool { return rdf.LessEq(m.Bound, t) }
+func (m MinInclusive) String() string        { return "minInclusive(" + m.Bound.String() + ")" }
+
+// MaxInclusive tests node ≤ Bound (sh:maxInclusive).
+type MaxInclusive struct {
+	Bound rdf.Term
+}
+
+func (m MaxInclusive) Holds(t rdf.Term) bool { return rdf.LessEq(t, m.Bound) }
+func (m MaxInclusive) String() string        { return "maxInclusive(" + m.Bound.String() + ")" }

@@ -1,0 +1,543 @@
+package shape
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+)
+
+// Parse parses the textual syntax for formal shapes, mirroring the paper's
+// mathematical notation. ASCII and Unicode spellings are both accepted:
+//
+//	top | ⊤, bot | ⊥
+//	hasShape(<iri>), hasValue(<iri> | "lit" | "lit"@en | 42 | true)
+//	test(isIRI | isLiteral | isBlank | datatype(<iri>) | lang(tag) |
+//	     pattern("re") | minLength(n) | maxLength(n) |
+//	     minExclusive(lit) | maxExclusive(lit) | minInclusive(lit) | maxInclusive(lit))
+//	eq(E, <p>), eq(id, <p>), disj(E, <p>), disj(id, <p>)
+//	closed(<p>, <q>, …)
+//	lessThan(E, <p>), lessThanEq(E, <p>), uniqueLang(E)
+//	moreThan(E, <p>), moreThanEq(E, <p>)
+//	!φ | ¬φ, φ & ψ | φ ∧ ψ, φ "|" ψ | φ ∨ ψ
+//	>=n E.φ | ≥n E.φ, <=n E.φ | ≤n E.φ, forall E.φ | all E.φ | ∀E.φ
+//
+// Path expressions E use the syntax of paths.Parse; bare property names are
+// expanded with base. Precedence: ¬ binds tightest, then ∧, then ∨;
+// quantifier bodies extend as far right as possible (use parentheses).
+func Parse(input, base string) (Shape, error) {
+	p := &shapeParser{input: input, base: base}
+	s, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, p.errf("trailing input %q", p.input[p.pos:])
+	}
+	return s, nil
+}
+
+// MustParse is Parse panicking on error, for constants in tests/examples.
+func MustParse(input, base string) Shape {
+	s, err := Parse(input, base)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type shapeParser struct {
+	input string
+	base  string
+	pos   int
+}
+
+func (p *shapeParser) errf(format string, args ...any) error {
+	return fmt.Errorf("shape: parse error at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *shapeParser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+// eat consumes one of the given spellings if present.
+func (p *shapeParser) eat(tokens ...string) bool {
+	p.skipSpace()
+	for _, tok := range tokens {
+		if strings.HasPrefix(p.input[p.pos:], tok) {
+			p.pos += len(tok)
+			return true
+		}
+	}
+	return false
+}
+
+// peekWord reads an identifier without consuming it.
+func (p *shapeParser) peekWord() string {
+	p.skipSpace()
+	end := p.pos
+	for end < len(p.input) {
+		c := p.input[end]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			end++
+			continue
+		}
+		break
+	}
+	return p.input[p.pos:end]
+}
+
+func (p *shapeParser) parseOr() (Shape, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Shape{left}
+	for p.eat("|", "∨") {
+		next, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return left, nil
+	}
+	return &Or{Xs: parts}, nil
+}
+
+func (p *shapeParser) parseAnd() (Shape, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Shape{left}
+	for p.eat("&", "∧") {
+		next, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, next)
+	}
+	if len(parts) == 1 {
+		return left, nil
+	}
+	return &And{Xs: parts}, nil
+}
+
+func (p *shapeParser) parseUnary() (Shape, error) {
+	if p.eat("!", "¬") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: inner}, nil
+	}
+	if p.eat(">=", "≥") {
+		return p.parseQuantifier(quantMin)
+	}
+	if p.eat("<=", "≤") {
+		return p.parseQuantifier(quantMax)
+	}
+	if p.eat("∀") {
+		return p.parseQuantifierBody(quantAll, 0)
+	}
+	switch p.peekWord() {
+	case "forall", "all":
+		p.eat(p.peekWord())
+		return p.parseQuantifierBody(quantAll, 0)
+	}
+	return p.parsePrimary()
+}
+
+type quantKind int
+
+const (
+	quantMin quantKind = iota
+	quantMax
+	quantAll
+)
+
+func (p *shapeParser) parseQuantifier(kind quantKind) (Shape, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.input) && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, p.errf("expected count after quantifier")
+	}
+	n, err := strconv.Atoi(p.input[start:p.pos])
+	if err != nil {
+		return nil, p.errf("bad count: %v", err)
+	}
+	return p.parseQuantifierBody(kind, n)
+}
+
+func (p *shapeParser) parseQuantifierBody(kind quantKind, n int) (Shape, error) {
+	path, err := p.parsePathUntilDot()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case quantMin:
+		return &MinCount{N: n, Path: path, X: body}, nil
+	case quantMax:
+		return &MaxCount{N: n, Path: path, X: body}, nil
+	default:
+		return &Forall{Path: path, X: body}, nil
+	}
+}
+
+// parsePathUntilDot scans the path expression section of a quantifier: it
+// extends to the first '.' at bracket/paren depth zero.
+func (p *shapeParser) parsePathUntilDot() (paths.Expr, error) {
+	p.skipSpace()
+	depth := 0
+	inIRI := false
+	end := p.pos
+	for end < len(p.input) {
+		c := p.input[end]
+		switch {
+		case inIRI:
+			if c == '>' {
+				inIRI = false
+			}
+		case c == '<':
+			inIRI = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == '.' && depth == 0:
+			goto done
+		}
+		end++
+	}
+done:
+	if end >= len(p.input) || p.input[end] != '.' {
+		return nil, p.errf("expected '.' after quantifier path")
+	}
+	text := strings.TrimSpace(p.input[p.pos:end])
+	expr, err := paths.Parse(text, p.base)
+	if err != nil {
+		return nil, err
+	}
+	p.pos = end + 1
+	return expr, nil
+}
+
+func (p *shapeParser) parsePrimary() (Shape, error) {
+	p.skipSpace()
+	if p.eat("⊤") {
+		return &True{}, nil
+	}
+	if p.eat("⊥") {
+		return &False{}, nil
+	}
+	if p.eat("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(")") {
+			return nil, p.errf("expected ')'")
+		}
+		return inner, nil
+	}
+	word := p.peekWord()
+	switch word {
+	case "top", "true":
+		p.eat(word)
+		return &True{}, nil
+	case "bot", "bottom", "false":
+		p.eat(word)
+		return &False{}, nil
+	case "hasShape":
+		p.eat(word)
+		args, err := p.parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		term, err := p.termArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &HasShape{Name: term}, nil
+	case "hasValue":
+		p.eat(word)
+		args, err := p.parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		term, err := p.termArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &HasValue{C: term}, nil
+	case "test":
+		p.eat(word)
+		args, err := p.parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		nt, err := p.nodeTestArg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &Test{T: nt}, nil
+	case "eq", "disj":
+		p.eat(word)
+		args, err := p.parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		prop, err := p.propArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		var path paths.Expr
+		if strings.TrimSpace(args[0]) != "id" {
+			path, err = paths.Parse(args[0], p.base)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if word == "eq" {
+			return &Eq{Path: path, P: prop}, nil
+		}
+		return &Disj{Path: path, P: prop}, nil
+	case "closed":
+		p.eat(word)
+		args, err := p.parseArgs(-1)
+		if err != nil {
+			return nil, err
+		}
+		var props []string
+		for _, a := range args {
+			// Accept the String() rendering closed({<p>, <q>}) by stripping
+			// the set braces.
+			a = strings.Trim(strings.TrimSpace(a), "{}")
+			if strings.TrimSpace(a) == "" {
+				continue
+			}
+			prop, err := p.propArg(a)
+			if err != nil {
+				return nil, err
+			}
+			props = append(props, prop)
+		}
+		return ClosedShape(props...), nil
+	case "lessThan", "lessThanEq", "moreThan", "moreThanEq":
+		p.eat(word)
+		args, err := p.parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		path, err := paths.Parse(args[0], p.base)
+		if err != nil {
+			return nil, err
+		}
+		prop, err := p.propArg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch word {
+		case "lessThan":
+			return &LessThan{Path: path, P: prop}, nil
+		case "lessThanEq":
+			return &LessThanEq{Path: path, P: prop}, nil
+		case "moreThan":
+			return &MoreThan{Path: path, P: prop}, nil
+		default:
+			return &MoreThanEq{Path: path, P: prop}, nil
+		}
+	case "uniqueLang":
+		p.eat(word)
+		args, err := p.parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		path, err := paths.Parse(args[0], p.base)
+		if err != nil {
+			return nil, err
+		}
+		return &UniqueLang{Path: path}, nil
+	}
+	return nil, p.errf("expected a shape, found %q", rest(p.input, p.pos))
+}
+
+func rest(s string, pos int) string {
+	r := s[pos:]
+	if len(r) > 20 {
+		r = r[:20] + "..."
+	}
+	return r
+}
+
+// parseArgs reads a parenthesized, comma-separated argument list. n is the
+// exact arity, or -1 for variadic.
+func (p *shapeParser) parseArgs(n int) ([]string, error) {
+	p.skipSpace()
+	if !p.eat("(") {
+		return nil, p.errf("expected '('")
+	}
+	var args []string
+	depth := 0
+	inIRI := false
+	inString := false
+	start := p.pos
+	for p.pos < len(p.input) {
+		c := p.input[p.pos]
+		switch {
+		case inString:
+			if c == '\\' {
+				p.pos++
+			} else if c == '"' {
+				inString = false
+			}
+		case inIRI:
+			if c == '>' {
+				inIRI = false
+			}
+		case c == '"':
+			inString = true
+		case c == '<':
+			inIRI = true
+		case c == '(':
+			depth++
+		case c == ')':
+			if depth == 0 {
+				args = append(args, strings.TrimSpace(p.input[start:p.pos]))
+				p.pos++
+				if n >= 0 && len(args) != n {
+					return nil, p.errf("expected %d argument(s), got %d", n, len(args))
+				}
+				return args, nil
+			}
+			depth--
+		case c == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(p.input[start:p.pos]))
+			start = p.pos + 1
+		}
+		p.pos++
+	}
+	return nil, p.errf("unterminated argument list")
+}
+
+// termArg parses a term argument: an IRI, a literal, a number, a boolean,
+// or a bare name expanded with the base.
+func (p *shapeParser) termArg(arg string) (rdf.Term, error) {
+	arg = strings.TrimSpace(arg)
+	switch {
+	case arg == "":
+		return rdf.Term{}, p.errf("empty term argument")
+	case strings.HasPrefix(arg, "<") && strings.HasSuffix(arg, ">"):
+		return rdf.NewIRI(arg[1 : len(arg)-1]), nil
+	case strings.HasPrefix(arg, "_:"):
+		return rdf.NewBlank(arg[2:]), nil
+	case strings.HasPrefix(arg, `"`):
+		closing := strings.LastIndexByte(arg, '"')
+		if closing == 0 {
+			return rdf.Term{}, p.errf("unterminated literal %q", arg)
+		}
+		lex := arg[1:closing]
+		suffix := arg[closing+1:]
+		switch {
+		case suffix == "":
+			return rdf.NewString(lex), nil
+		case strings.HasPrefix(suffix, "@"):
+			return rdf.NewLangString(lex, suffix[1:]), nil
+		case strings.HasPrefix(suffix, "^^<") && strings.HasSuffix(suffix, ">"):
+			return rdf.NewTypedLiteral(lex, suffix[3:len(suffix)-1]), nil
+		default:
+			return rdf.Term{}, p.errf("bad literal suffix %q", suffix)
+		}
+	case arg == "true" || arg == "false":
+		return rdf.NewTypedLiteral(arg, rdf.XSDBoolean), nil
+	default:
+		if _, err := strconv.ParseInt(arg, 10, 64); err == nil {
+			return rdf.NewTypedLiteral(arg, rdf.XSDInteger), nil
+		}
+		if _, err := strconv.ParseFloat(arg, 64); err == nil {
+			return rdf.NewTypedLiteral(arg, rdf.XSDDecimal), nil
+		}
+		return rdf.NewIRI(p.base + arg), nil
+	}
+}
+
+// propArg parses a property IRI argument.
+func (p *shapeParser) propArg(arg string) (string, error) {
+	t, err := p.termArg(arg)
+	if err != nil {
+		return "", err
+	}
+	if !t.IsIRI() {
+		return "", p.errf("property argument must be an IRI, got %s", t)
+	}
+	return t.Value, nil
+}
+
+// nodeTestArg parses the argument of test(…).
+func (p *shapeParser) nodeTestArg(arg string) (NodeTest, error) {
+	arg = strings.TrimSpace(arg)
+	switch arg {
+	case "isIRI":
+		return IsIRI{}, nil
+	case "isLiteral":
+		return IsLiteral{}, nil
+	case "isBlank":
+		return IsBlank{}, nil
+	}
+	open := strings.IndexByte(arg, '(')
+	if open < 0 || !strings.HasSuffix(arg, ")") {
+		return nil, p.errf("unknown node test %q", arg)
+	}
+	name, inner := arg[:open], strings.TrimSpace(arg[open+1:len(arg)-1])
+	switch name {
+	case "datatype":
+		t, err := p.termArg(inner)
+		if err != nil {
+			return nil, err
+		}
+		return Datatype{IRI: t.Value}, nil
+	case "lang":
+		return HasLang{Tag: strings.Trim(inner, `"`)}, nil
+	case "pattern":
+		return NewPattern(strings.Trim(inner, `"`))
+	case "minLength", "maxLength":
+		n, err := strconv.Atoi(inner)
+		if err != nil {
+			return nil, p.errf("bad length %q", inner)
+		}
+		if name == "minLength" {
+			return MinLength{N: n}, nil
+		}
+		return MaxLength{N: n}, nil
+	case "minExclusive", "maxExclusive", "minInclusive", "maxInclusive":
+		bound, err := p.termArg(inner)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "minExclusive":
+			return MinExclusive{Bound: bound}, nil
+		case "maxExclusive":
+			return MaxExclusive{Bound: bound}, nil
+		case "minInclusive":
+			return MinInclusive{Bound: bound}, nil
+		default:
+			return MaxInclusive{Bound: bound}, nil
+		}
+	}
+	return nil, p.errf("unknown node test %q", name)
+}

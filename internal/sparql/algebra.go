@@ -1,0 +1,236 @@
+// Package sparql implements the SPARQL query-algebra substrate used to
+// compute neighborhoods by translation (Section 5.1 of the paper): solution
+// mappings, an algebra with basic graph patterns (including property
+// paths), join, union, optional (left join), minus, filter (with EXISTS),
+// extend, distinct, project and grouping with counting — plus the
+// path-trace operator realizing the query Q_E of Lemma 5.1, which returns
+// the subgraph graph(paths(E, G, a, b)) traced out by path expressions.
+//
+// Queries are built programmatically as algebra trees; Render produces
+// SPARQL concrete syntax for display. Evaluation is "lateral": every
+// operator maps a set of input solutions to output solutions, so
+// correlated subqueries (EXISTS, nested selects over bound focus nodes)
+// evaluate efficiently without a dedicated optimizer.
+package sparql
+
+import (
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+)
+
+// Binding is a solution mapping μ: a partial map from variable names to
+// terms. Bindings are treated as immutable; extend copies.
+type Binding map[string]rdf.Term
+
+// extend returns b extended with var→t, or nil when incompatible.
+func (b Binding) extend(v string, t rdf.Term) Binding {
+	if old, ok := b[v]; ok {
+		if old == t {
+			return b
+		}
+		return nil
+	}
+	out := make(Binding, len(b)+1)
+	for k, val := range b {
+		out[k] = val
+	}
+	out[v] = t
+	return out
+}
+
+// compatible reports whether two bindings agree on their shared variables.
+func compatible(a, b Binding) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k, v := range a {
+		if w, ok := b[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sharesVar reports whether the domains of a and b intersect.
+func sharesVar(a, b Binding) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k := range a {
+		if _, ok := b[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// merge returns the union of two compatible bindings, or nil on conflict.
+func merge(a, b Binding) Binding {
+	out := make(Binding, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if old, ok := out[k]; ok && old != v {
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// TermOrVar is a triple pattern position: either a constant term or a
+// variable (Var non-empty).
+type TermOrVar struct {
+	Var  string
+	Term rdf.Term
+}
+
+// V makes a variable position.
+func V(name string) TermOrVar { return TermOrVar{Var: name} }
+
+// C makes a constant position.
+func C(t rdf.Term) TermOrVar { return TermOrVar{Term: t} }
+
+// IsVar reports whether the position is a variable.
+func (tv TermOrVar) IsVar() bool { return tv.Var != "" }
+
+// TriplePattern matches triples; Path, when non-nil, replaces the predicate
+// with a property path (SPARQL property path patterns).
+type TriplePattern struct {
+	S    TermOrVar
+	P    TermOrVar  // used when Path is nil
+	Path paths.Expr // property path; nil for a plain predicate
+	O    TermOrVar
+}
+
+// Op is a node of the query algebra.
+type Op interface{ isOp() }
+
+// BGP is a basic graph pattern: a conjunction of triple patterns.
+type BGP struct {
+	Patterns []TriplePattern
+}
+
+// Join is the natural (compatibility) join of two patterns.
+type Join struct {
+	L, R Op
+}
+
+// LeftJoin is OPTIONAL: solutions of L extended by compatible R solutions
+// when any exist, kept bare otherwise.
+type LeftJoin struct {
+	L, R Op
+}
+
+// Union concatenates the solutions of both sides.
+type Union struct {
+	L, R Op
+}
+
+// Minus removes L-solutions for which a compatible R-solution sharing at
+// least one variable exists (SPARQL MINUS).
+type Minus struct {
+	L, R Op
+}
+
+// Filter keeps solutions whose condition evaluates to true.
+type Filter struct {
+	Inner Op
+	Cond  Expr
+}
+
+// Extend binds a new variable to the value of an expression (SELECT ... AS).
+// Solutions where the expression errors keep the variable unbound.
+type Extend struct {
+	Inner Op
+	Var   string
+	E     Expr
+}
+
+// Project restricts solutions to the given variables.
+type Project struct {
+	Inner Op
+	Vars  []string
+}
+
+// Distinct removes duplicate solutions.
+type Distinct struct {
+	Inner Op
+}
+
+// GroupCount groups by the given variables and binds CountVar to the group
+// size (COUNT(*)).
+type GroupCount struct {
+	Inner    Op
+	By       []string
+	CountVar string
+}
+
+// Table is an inline list of solutions (SPARQL VALUES).
+type Table struct {
+	Rows []Binding
+}
+
+// AllNodes binds Var to every node of the graph, N(G): every subject or
+// object of some triple. It renders as
+// {SELECT DISTINCT ?v WHERE {{?v ?p ?o} UNION {?s ?p ?v}}}.
+type AllNodes struct {
+	Var string
+}
+
+// PathTrace is the triple-returning part of the query Q_E of Lemma 5.1:
+// it binds (TVar, SVar, PVar, OVar, HVar) such that, for every pair
+// (a, b) ∈ ⟦E⟧G restricted to N(G) (or further restricted by input
+// bindings), the rows with TVar=a, HVar=b enumerate exactly
+// graph(paths(E, G, a, b)).
+//
+// Pair rows (s, p, o left unbound) are additionally emitted when WithPairs
+// is set, making the operator exactly the Q_E of the lemma; neighborhood
+// queries use the triples-only form and a separate BGP path pattern for
+// reachability.
+type PathTrace struct {
+	Path                         paths.Expr
+	TVar, SVar, PVar, OVar, HVar string
+	WithPairs                    bool
+}
+
+func (*BGP) isOp()        {}
+func (*Join) isOp()       {}
+func (*LeftJoin) isOp()   {}
+func (*Union) isOp()      {}
+func (*Minus) isOp()      {}
+func (*Filter) isOp()     {}
+func (*Extend) isOp()     {}
+func (*Project) isOp()    {}
+func (*Distinct) isOp()   {}
+func (*GroupCount) isOp() {}
+func (*Table) isOp()      {}
+func (*AllNodes) isOp()   {}
+func (*PathTrace) isOp()  {}
+
+// UnionOf folds operands into nested unions; empty input yields an empty
+// table.
+func UnionOf(ops ...Op) Op {
+	if len(ops) == 0 {
+		return &Table{}
+	}
+	out := ops[0]
+	for _, op := range ops[1:] {
+		out = &Union{L: out, R: op}
+	}
+	return out
+}
+
+// JoinOf folds operands into nested joins; empty input yields the unit
+// table (one empty solution).
+func JoinOf(ops ...Op) Op {
+	if len(ops) == 0 {
+		return &Table{Rows: []Binding{{}}}
+	}
+	out := ops[0]
+	for _, op := range ops[1:] {
+		out = &Join{L: out, R: op}
+	}
+	return out
+}

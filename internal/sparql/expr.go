@@ -1,0 +1,250 @@
+package sparql
+
+import (
+	"errors"
+	"strings"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/shape"
+)
+
+// errUnbound signals evaluation over an unbound variable; filters treat it
+// as false (SPARQL error semantics), Extend leaves the target unbound.
+var errUnbound = errors.New("sparql: unbound variable")
+
+// Expr is a filter/select expression.
+type Expr interface{ isExpr() }
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+// ConstExpr is a constant term.
+type ConstExpr struct{ Term rdf.Term }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNeq
+	CmpLess      // semantic < on literals (rdf.Less)
+	CmpLessEq    // semantic ≤
+	CmpNotLess   // ¬(a < b); distinct from b ≤ a on incomparable values
+	CmpNotLessEq // ¬(a ≤ b)
+)
+
+// Cmp compares two expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// AndExpr is logical conjunction (&& with SPARQL error semantics).
+type AndExpr struct{ Xs []Expr }
+
+// OrExpr is logical disjunction.
+type OrExpr struct{ Xs []Expr }
+
+// NotExpr is logical negation.
+type NotExpr struct{ X Expr }
+
+// BoundExpr is bound(?v).
+type BoundExpr struct{ Name string }
+
+// SameLangExpr is lang(?x) = lang(?y) && lang(?x) != "".
+type SameLangExpr struct{ L, R Expr }
+
+// InExpr tests membership of an expression's value in a constant list; Neg
+// flips it (NOT IN).
+type InExpr struct {
+	X     Expr
+	Terms []rdf.Term
+	Neg   bool
+}
+
+// ExistsExpr is EXISTS { op } evaluated with the current solution as input
+// (correlated). Neg flips it (NOT EXISTS).
+type ExistsExpr struct {
+	Op  Op
+	Neg bool
+}
+
+// NodeTestExpr applies a node test from the shape algebra to the value of a
+// variable. It renders as the corresponding SPARQL filter function.
+type NodeTestExpr struct {
+	Name string
+	Test shape.NodeTest
+}
+
+func (*VarExpr) isExpr()      {}
+func (*ConstExpr) isExpr()    {}
+func (*Cmp) isExpr()          {}
+func (*AndExpr) isExpr()      {}
+func (*OrExpr) isExpr()       {}
+func (*NotExpr) isExpr()      {}
+func (*BoundExpr) isExpr()    {}
+func (*SameLangExpr) isExpr() {}
+func (*InExpr) isExpr()       {}
+func (*ExistsExpr) isExpr()   {}
+func (*NodeTestExpr) isExpr() {}
+
+// Vx is shorthand for a variable expression.
+func Vx(name string) Expr { return &VarExpr{Name: name} }
+
+// Cx is shorthand for a constant expression.
+func Cx(t rdf.Term) Expr { return &ConstExpr{Term: t} }
+
+// AndOf builds a conjunction, flattening and dropping nils.
+func AndOf(xs ...Expr) Expr {
+	var flat []Expr
+	for _, x := range xs {
+		if x == nil {
+			continue
+		}
+		if a, ok := x.(*AndExpr); ok {
+			flat = append(flat, a.Xs...)
+			continue
+		}
+		flat = append(flat, x)
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &AndExpr{Xs: flat}
+}
+
+// evalTerm evaluates an expression to a term.
+func (e *evaluator) evalTerm(x Expr, b Binding) (rdf.Term, error) {
+	switch ex := x.(type) {
+	case *VarExpr:
+		if t, ok := b[ex.Name]; ok {
+			return t, nil
+		}
+		return rdf.Term{}, errUnbound
+	case *ConstExpr:
+		return ex.Term, nil
+	default:
+		v, err := e.evalBool(x, b)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewBoolean(v), nil
+	}
+}
+
+// evalBool evaluates an expression under SPARQL effective-boolean-value
+// semantics; errors propagate and are treated as false by Filter.
+func (e *evaluator) evalBool(x Expr, b Binding) (bool, error) {
+	switch ex := x.(type) {
+	case *VarExpr, *ConstExpr:
+		t, err := e.evalTerm(x, b)
+		if err != nil {
+			return false, err
+		}
+		return effectiveBool(t)
+	case *Cmp:
+		l, err := e.evalTerm(ex.L, b)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.evalTerm(ex.R, b)
+		if err != nil {
+			return false, err
+		}
+		switch ex.Op {
+		case CmpEq:
+			return l == r, nil
+		case CmpNeq:
+			return l != r, nil
+		case CmpLess:
+			return rdf.Less(l, r), nil
+		case CmpLessEq:
+			return rdf.LessEq(l, r), nil
+		case CmpNotLess:
+			return !rdf.Less(l, r), nil
+		case CmpNotLessEq:
+			return !rdf.LessEq(l, r), nil
+		}
+		return false, errors.New("sparql: unknown comparison")
+	case *AndExpr:
+		for _, c := range ex.Xs {
+			v, err := e.evalBool(c, b)
+			if err != nil {
+				return false, err
+			}
+			if !v {
+				return false, nil
+			}
+		}
+		return true, nil
+	case *OrExpr:
+		for _, c := range ex.Xs {
+			v, err := e.evalBool(c, b)
+			if err == nil && v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *NotExpr:
+		v, err := e.evalBool(ex.X, b)
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
+	case *BoundExpr:
+		_, ok := b[ex.Name]
+		return ok, nil
+	case *SameLangExpr:
+		l, err := e.evalTerm(ex.L, b)
+		if err != nil {
+			return false, err
+		}
+		r, err := e.evalTerm(ex.R, b)
+		if err != nil {
+			return false, err
+		}
+		return rdf.SameLang(l, r), nil
+	case *InExpr:
+		t, err := e.evalTerm(ex.X, b)
+		if err != nil {
+			return false, err
+		}
+		found := false
+		for _, c := range ex.Terms {
+			if c == t {
+				found = true
+				break
+			}
+		}
+		return found != ex.Neg, nil
+	case *ExistsExpr:
+		rows := e.eval(ex.Op, []Binding{b})
+		return (len(rows) > 0) != ex.Neg, nil
+	case *NodeTestExpr:
+		t, ok := b[ex.Name]
+		if !ok {
+			return false, errUnbound
+		}
+		return ex.Test.Holds(t), nil
+	}
+	return false, errors.New("sparql: unknown expression")
+}
+
+// effectiveBool implements SPARQL's effective boolean value for terms.
+func effectiveBool(t rdf.Term) (bool, error) {
+	if !t.IsLiteral() {
+		return false, errors.New("sparql: EBV of non-literal")
+	}
+	switch t.Datatype {
+	case rdf.XSDBoolean:
+		return t.Value == "true" || t.Value == "1", nil
+	case rdf.XSDString, "", rdf.RDFLangString:
+		return t.Value != "", nil
+	default:
+		if f, ok := t.NumericValue(); ok {
+			return f != 0, nil
+		}
+		return false, errors.New("sparql: EBV of " + strings.TrimSpace(t.String()))
+	}
+}

@@ -1,0 +1,369 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/shape"
+)
+
+// Render produces SPARQL concrete syntax for a query that selects the given
+// variables from the algebra tree. Path-trace operators are expanded into
+// the recursive construction of Lemma 5.1, which is why generated queries
+// can run to hundreds of lines, exactly as the paper reports for its own
+// translation.
+func Render(op Op, vars ...string) string {
+	r := &renderer{}
+	var b strings.Builder
+	b.WriteString("SELECT")
+	if len(vars) == 0 {
+		b.WriteString(" *")
+	}
+	for _, v := range vars {
+		b.WriteString(" ?")
+		b.WriteString(v)
+	}
+	b.WriteString(" WHERE {\n")
+	r.render(&b, op, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+type renderer struct {
+	fresh int
+}
+
+func (r *renderer) freshVar(prefix string) string {
+	r.fresh++
+	return fmt.Sprintf("%s_%d", prefix, r.fresh)
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func (r *renderer) render(b *strings.Builder, op Op, depth int) {
+	switch o := op.(type) {
+	case *BGP:
+		for _, p := range o.Patterns {
+			indent(b, depth)
+			b.WriteString(renderPosition(p.S))
+			b.WriteByte(' ')
+			if p.Path != nil {
+				b.WriteString(p.Path.String())
+			} else {
+				b.WriteString(renderPosition(p.P))
+			}
+			b.WriteByte(' ')
+			b.WriteString(renderPosition(p.O))
+			b.WriteString(" .\n")
+		}
+	case *Join:
+		r.render(b, o.L, depth)
+		r.render(b, o.R, depth)
+	case *LeftJoin:
+		r.render(b, o.L, depth)
+		indent(b, depth)
+		b.WriteString("OPTIONAL {\n")
+		r.render(b, o.R, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *Union:
+		indent(b, depth)
+		b.WriteString("{\n")
+		r.render(b, o.L, depth+1)
+		indent(b, depth)
+		b.WriteString("} UNION {\n")
+		r.render(b, o.R, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *Minus:
+		r.render(b, o.L, depth)
+		indent(b, depth)
+		b.WriteString("MINUS {\n")
+		r.render(b, o.R, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *Filter:
+		r.render(b, o.Inner, depth)
+		indent(b, depth)
+		b.WriteString("FILTER (")
+		r.renderExpr(b, o.Cond, depth)
+		b.WriteString(")\n")
+	case *Extend:
+		r.render(b, o.Inner, depth)
+		indent(b, depth)
+		b.WriteString("BIND (")
+		r.renderExpr(b, o.E, depth)
+		b.WriteString(" AS ?")
+		b.WriteString(o.Var)
+		b.WriteString(")\n")
+	case *Project:
+		indent(b, depth)
+		b.WriteString("{ SELECT")
+		for _, v := range o.Vars {
+			b.WriteString(" ?")
+			b.WriteString(v)
+		}
+		b.WriteString(" WHERE {\n")
+		r.render(b, o.Inner, depth+1)
+		indent(b, depth)
+		b.WriteString("} }\n")
+	case *Distinct:
+		indent(b, depth)
+		b.WriteString("{ SELECT DISTINCT * WHERE {\n")
+		r.render(b, o.Inner, depth+1)
+		indent(b, depth)
+		b.WriteString("} }\n")
+	case *GroupCount:
+		indent(b, depth)
+		b.WriteString("{ SELECT")
+		for _, v := range o.By {
+			b.WriteString(" ?")
+			b.WriteString(v)
+		}
+		fmt.Fprintf(b, " (COUNT(*) AS ?%s) WHERE {\n", o.CountVar)
+		r.render(b, o.Inner, depth+1)
+		indent(b, depth)
+		b.WriteString("} GROUP BY")
+		for _, v := range o.By {
+			b.WriteString(" ?")
+			b.WriteString(v)
+		}
+		b.WriteString(" }\n")
+	case *Table:
+		indent(b, depth)
+		if len(o.Rows) == 0 {
+			b.WriteString("VALUES () { }\n")
+			return
+		}
+		var vars []string
+		for v := range o.Rows[0] {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		b.WriteString("VALUES (")
+		for i, v := range vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString("?" + v)
+		}
+		b.WriteString(") {")
+		for _, row := range o.Rows {
+			b.WriteString(" (")
+			for i, v := range vars {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(row[v].String())
+			}
+			b.WriteString(")")
+		}
+		b.WriteString(" }\n")
+	case *AllNodes:
+		p1, o1, s2, p2 := r.freshVar("p"), r.freshVar("o"), r.freshVar("s"), r.freshVar("p")
+		indent(b, depth)
+		fmt.Fprintf(b, "{ SELECT DISTINCT ?%s WHERE { { ?%s ?%s ?%s } UNION { ?%s ?%s ?%s } } }\n",
+			o.Var, o.Var, p1, o1, s2, p2, o.Var)
+	case *PathTrace:
+		r.renderTrace(b, o.Path, o.TVar, o.SVar, o.PVar, o.OVar, o.HVar, o.WithPairs, depth)
+	default:
+		panic("sparql: unknown operator in render")
+	}
+}
+
+func renderPosition(tv TermOrVar) string {
+	if tv.IsVar() {
+		return "?" + tv.Var
+	}
+	return tv.Term.String()
+}
+
+func (r *renderer) renderExpr(b *strings.Builder, e Expr, depth int) {
+	switch x := e.(type) {
+	case *VarExpr:
+		b.WriteString("?" + x.Name)
+	case *ConstExpr:
+		b.WriteString(x.Term.String())
+	case *Cmp:
+		ops := map[CmpOp]string{
+			CmpEq: " = ", CmpNeq: " != ", CmpLess: " < ", CmpLessEq: " <= ",
+			CmpNotLess: " < ", CmpNotLessEq: " <= ",
+		}
+		if x.Op == CmpNotLess || x.Op == CmpNotLessEq {
+			b.WriteString("!(")
+		}
+		r.renderExpr(b, x.L, depth)
+		b.WriteString(ops[x.Op])
+		r.renderExpr(b, x.R, depth)
+		if x.Op == CmpNotLess || x.Op == CmpNotLessEq {
+			b.WriteString(")")
+		}
+	case *AndExpr:
+		for i, c := range x.Xs {
+			if i > 0 {
+				b.WriteString(" && ")
+			}
+			b.WriteString("(")
+			r.renderExpr(b, c, depth)
+			b.WriteString(")")
+		}
+	case *OrExpr:
+		for i, c := range x.Xs {
+			if i > 0 {
+				b.WriteString(" || ")
+			}
+			b.WriteString("(")
+			r.renderExpr(b, c, depth)
+			b.WriteString(")")
+		}
+	case *NotExpr:
+		b.WriteString("!(")
+		r.renderExpr(b, x.X, depth)
+		b.WriteString(")")
+	case *BoundExpr:
+		b.WriteString("bound(?" + x.Name + ")")
+	case *SameLangExpr:
+		b.WriteString("lang(")
+		r.renderExpr(b, x.L, depth)
+		b.WriteString(") = lang(")
+		r.renderExpr(b, x.R, depth)
+		b.WriteString(") && lang(")
+		r.renderExpr(b, x.L, depth)
+		b.WriteString(`) != ""`)
+	case *InExpr:
+		r.renderExpr(b, x.X, depth)
+		if x.Neg {
+			b.WriteString(" NOT IN (")
+		} else {
+			b.WriteString(" IN (")
+		}
+		for i, t := range x.Terms {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteString(")")
+	case *ExistsExpr:
+		if x.Neg {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("EXISTS {\n")
+		r.render(b, x.Op, depth+1)
+		indent(b, depth)
+		b.WriteString("}")
+	case *NodeTestExpr:
+		b.WriteString(renderNodeTest(x.Name, x.Test))
+	default:
+		panic("sparql: unknown expression in render")
+	}
+}
+
+// renderNodeTest maps shape node tests to SPARQL filter functions.
+func renderNodeTest(v string, t shape.NodeTest) string {
+	q := "?" + v
+	switch x := t.(type) {
+	case shape.IsIRI:
+		return "isIRI(" + q + ")"
+	case shape.IsLiteral:
+		return "isLiteral(" + q + ")"
+	case shape.IsBlank:
+		return "isBlank(" + q + ")"
+	case shape.Datatype:
+		return "datatype(" + q + ") = <" + x.IRI + ">"
+	case shape.HasLang:
+		return `langMatches(lang(` + q + `), "` + x.Tag + `")`
+	case *shape.Pattern:
+		return `regex(str(` + q + `), "` + strings.ReplaceAll(x.Source, `"`, `\"`) + `")`
+	case shape.MinLength:
+		return fmt.Sprintf("strlen(str(%s)) >= %d", q, x.N)
+	case shape.MaxLength:
+		return fmt.Sprintf("strlen(str(%s)) <= %d", q, x.N)
+	case shape.MinExclusive:
+		return q + " > " + x.Bound.String()
+	case shape.MaxExclusive:
+		return q + " < " + x.Bound.String()
+	case shape.MinInclusive:
+		return q + " >= " + x.Bound.String()
+	case shape.MaxInclusive:
+		return q + " <= " + x.Bound.String()
+	case shape.AnyOf:
+		parts := make([]string, len(x.Tests))
+		for i, nt := range x.Tests {
+			parts[i] = renderNodeTest(v, nt)
+		}
+		return "(" + strings.Join(parts, " || ") + ")"
+	default:
+		return "true # unrenderable node test: " + t.String()
+	}
+}
+
+// renderTrace expands the recursive construction of Q_E from the proof of
+// Lemma 5.1 into SPARQL text.
+func (r *renderer) renderTrace(b *strings.Builder, e paths.Expr, t, s, p, o, h string, withPairs bool, depth int) {
+	indent(b, depth)
+	fmt.Fprintf(b, "# Q_E for E = %s (Lemma 5.1)\n", e)
+	r.renderTraceInner(b, e, t, s, p, o, h, depth)
+	if withPairs {
+		indent(b, depth)
+		b.WriteString("# plus endpoint pairs:\n")
+		indent(b, depth)
+		fmt.Fprintf(b, "{ ?%s %s ?%s }\n", t, e, h)
+	}
+}
+
+func (r *renderer) renderTraceInner(b *strings.Builder, e paths.Expr, t, s, p, o, h string, depth int) {
+	switch x := e.(type) {
+	case paths.Prop:
+		indent(b, depth)
+		fmt.Fprintf(b, "{ SELECT (?%s AS ?%s) ?%s (%s AS ?%s) ?%s (?%s AS ?%s) WHERE { ?%s <%s> ?%s } }\n",
+			s, t, s, paths.P(x.IRI), p, o, o, h, s, x.IRI, o)
+	case paths.Inverse:
+		t2, h2 := r.freshVar("t"), r.freshVar("h")
+		indent(b, depth)
+		fmt.Fprintf(b, "{ SELECT (?%s AS ?%s) ?%s ?%s ?%s (?%s AS ?%s) WHERE {\n", h2, t, s, p, o, t2, h)
+		r.renderTraceInner(b, x.X, t2, s, p, o, h2, depth+1)
+		indent(b, depth)
+		b.WriteString("} }\n")
+	case paths.Seq:
+		mid := r.freshVar("m")
+		indent(b, depth)
+		b.WriteString("{\n")
+		// Triples contributed by the left component...
+		r.renderTraceInner(b, x.Left, t, s, p, o, mid, depth+1)
+		indent(b, depth+1)
+		fmt.Fprintf(b, "?%s %s ?%s .\n", mid, x.Right, h)
+		indent(b, depth)
+		b.WriteString("} UNION {\n")
+		// ...and by the right component.
+		indent(b, depth+1)
+		fmt.Fprintf(b, "?%s %s ?%s .\n", t, x.Left, mid)
+		r.renderTraceInner(b, x.Right, mid, s, p, o, h, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case paths.Alt:
+		indent(b, depth)
+		b.WriteString("{\n")
+		r.renderTraceInner(b, x.Left, t, s, p, o, h, depth+1)
+		indent(b, depth)
+		b.WriteString("} UNION {\n")
+		r.renderTraceInner(b, x.Right, t, s, p, o, h, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case paths.Star:
+		x1, x2 := r.freshVar("x"), r.freshVar("x")
+		indent(b, depth)
+		fmt.Fprintf(b, "?%s %s ?%s . ?%s %s ?%s .\n", t, e, x1, x2, e, h)
+		r.renderTraceInner(b, x.X, x1, s, p, o, x2, depth)
+	case paths.ZeroOrOne:
+		r.renderTraceInner(b, x.X, t, s, p, o, h, depth)
+	default:
+		panic("sparql: unknown path expression in trace rendering")
+	}
+}

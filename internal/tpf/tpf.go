@@ -1,0 +1,145 @@
+// Package tpf implements Triple Pattern Fragments (Section 6.1): the
+// subgraph-returning queries defined by a single triple pattern, and the
+// Proposition 6.2 mapping of expressible TPFs onto request shapes whose
+// shape fragments return the same subgraph.
+package tpf
+
+import (
+	"fmt"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/shape"
+)
+
+// Pos is one position of a triple pattern: a variable (Var non-empty) or a
+// constant term.
+type Pos struct {
+	Var  string
+	Term rdf.Term
+}
+
+// V makes a variable position.
+func V(name string) Pos { return Pos{Var: name} }
+
+// C makes a constant position.
+func C(t rdf.Term) Pos { return Pos{Term: t} }
+
+// IsVar reports whether the position is a variable.
+func (p Pos) IsVar() bool { return p.Var != "" }
+
+func (p Pos) String() string {
+	if p.IsVar() {
+		return "?" + p.Var
+	}
+	return p.Term.String()
+}
+
+// Pattern is a triple pattern (u, v, w). Repeated variable names impose
+// equality, e.g. (?x, p, ?x) matches only self-loops.
+type Pattern struct {
+	S, P, O Pos
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", p.S, p.P, p.O)
+}
+
+// Eval returns the TPF of g for the pattern: all images of the pattern in
+// g, i.e. the matching triples, in canonical order.
+func (p Pattern) Eval(g *rdfgraph.Graph) []rdf.Triple {
+	var out []rdf.Triple
+	g.EachTriple(func(s, pr, o rdfgraph.ID) {
+		t := rdf.Triple{S: g.Term(s), P: g.Term(pr), O: g.Term(o)}
+		if p.Matches(t) {
+			out = append(out, t)
+		}
+	})
+	sortTriples(out)
+	return out
+}
+
+// Matches reports whether the triple is an image of the pattern.
+func (p Pattern) Matches(t rdf.Triple) bool {
+	bind := map[string]rdf.Term{}
+	for _, pair := range []struct {
+		pos  Pos
+		term rdf.Term
+	}{{p.S, t.S}, {p.P, t.P}, {p.O, t.O}} {
+		if !pair.pos.IsVar() {
+			if pair.pos.Term != pair.term {
+				return false
+			}
+			continue
+		}
+		if prev, ok := bind[pair.pos.Var]; ok {
+			if prev != pair.term {
+				return false
+			}
+			continue
+		}
+		bind[pair.pos.Var] = pair.term
+	}
+	return true
+}
+
+func sortTriples(ts []rdf.Triple) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && rdf.CompareTriples(ts[j], ts[j-1]) < 0; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// RequestShape implements Proposition 6.2: it returns a request shape φ
+// with Frag(G, {φ}) = pattern(G) for every graph G, and ok = false for the
+// TPF forms that are not expressible as shape fragments (variables in the
+// property position combined with constants or repeated variables).
+//
+// The seven expressible forms and their shapes:
+//
+//	(?x, p, ?y) → ≥1 p.⊤
+//	(?x, p, c)  → ≥1 p.hasValue(c)
+//	(c, p, ?x)  → ≥1 p⁻.hasValue(c)
+//	(c, p, d)   → hasValue(c) ∧ ≥1 p.hasValue(d)
+//	(?x, p, ?x) → ¬disj(id, p)
+//	(?x, ?y, ?z) → ¬closed(∅)
+//	(c, ?y, ?z)  → hasValue(c) ∧ ¬closed(∅)
+func (p Pattern) RequestShape() (shape.Shape, bool) {
+	if !p.P.IsVar() {
+		if !p.P.Term.IsIRI() {
+			return nil, false // predicates must be IRIs
+		}
+		prop := p.P.Term.Value
+		e := paths.P(prop)
+		switch {
+		case !p.S.IsVar() && !p.O.IsVar():
+			// (c, p, d)
+			return shape.AndOf(shape.Value(p.S.Term), shape.Min(1, e, shape.Value(p.O.Term))), true
+		case !p.S.IsVar():
+			// (c, p, ?x)
+			return shape.Min(1, paths.Inv(e), shape.Value(p.S.Term)), true
+		case !p.O.IsVar():
+			// (?x, p, c)
+			return shape.Min(1, e, shape.Value(p.O.Term)), true
+		case p.S.Var == p.O.Var:
+			// (?x, p, ?x)
+			return shape.Neg(shape.DisjID(prop)), true
+		default:
+			// (?x, p, ?y)
+			return shape.Min(1, e, shape.TrueShape()), true
+		}
+	}
+	// Variable property position: only full scans (?x,?y,?z) and
+	// subject-constant scans (c,?y,?z) are expressible, via ¬closed(∅).
+	if p.O.IsVar() && p.O.Var != p.P.Var {
+		switch {
+		case !p.S.IsVar():
+			return shape.AndOf(shape.Value(p.S.Term), shape.Neg(shape.ClosedShape())), true
+		case p.S.Var != p.P.Var && p.S.Var != p.O.Var:
+			return shape.Neg(shape.ClosedShape()), true
+		}
+	}
+	return nil, false
+}

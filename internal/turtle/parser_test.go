@@ -1,0 +1,294 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/rdf"
+)
+
+func TestParseBasicTriples(t *testing.T) {
+	g, err := Parse(`<http://x/a> <http://x/p> <http://x/b> .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://x/a"), rdf.NewIRI("http://x/p"), rdf.NewIRI("http://x/b"))) {
+		t.Fatal("triple missing")
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:alice rdf:type ex:Person .
+ex:alice a ex:Agent .
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := rdf.NewIRI("http://example.org/alice")
+	typ := rdf.NewIRI(rdf.RDFType)
+	if !g.Has(rdf.T(alice, typ, rdf.NewIRI("http://example.org/Person"))) {
+		t.Error("prefixed name expansion failed")
+	}
+	if !g.Has(rdf.T(alice, typ, rdf.NewIRI("http://example.org/Agent"))) {
+		t.Error("'a' keyword failed")
+	}
+}
+
+func TestParseSPARQLStylePrefix(t *testing.T) {
+	g, err := Parse("PREFIX ex: <http://example.org/>\nex:a ex:p ex:b .")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestParsePredicateAndObjectLists(t *testing.T) {
+	src := `
+@prefix ex: <http://x/> .
+ex:a ex:p ex:b , ex:c ;
+     ex:q ex:d ;
+     a ex:Thing .
+`
+	ts, err := ParseTriples(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples, want 4: %v", len(ts), ts)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	src := `
+@prefix ex: <http://x/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:name "Alice" .
+ex:a ex:nameNL "Alies"@nl .
+ex:a ex:age 30 .
+ex:a ex:height 1.75 .
+ex:a ex:score 1.0e3 .
+ex:a ex:ok true .
+ex:a ex:born "1990-04-01"^^xsd:date .
+ex:a ex:quote "say \"hi\"\n" .
+`
+	ts, err := ParseTriples(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []rdf.Term{
+		rdf.NewString("Alice"),
+		rdf.NewLangString("Alies", "nl"),
+		rdf.NewTypedLiteral("30", rdf.XSDInteger),
+		rdf.NewTypedLiteral("1.75", rdf.XSDDecimal),
+		rdf.NewTypedLiteral("1.0e3", rdf.XSDDouble),
+		rdf.NewTypedLiteral("true", rdf.XSDBoolean),
+		rdf.NewTypedLiteral("1990-04-01", rdf.XSDDate),
+		rdf.NewString("say \"hi\"\n"),
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("got %d triples, want %d", len(ts), len(want))
+	}
+	for i, w := range want {
+		if ts[i].O != w {
+			t.Errorf("triple %d object = %v, want %v", i, ts[i].O, w)
+		}
+	}
+}
+
+func TestParseBlankNodes(t *testing.T) {
+	src := `
+@prefix ex: <http://x/> .
+ex:a ex:knows _:b1 .
+_:b1 ex:name "Bob" .
+ex:c ex:knows [ ex:name "Carol" ; ex:age 20 ] .
+[ ex:name "Dave" ] ex:knows ex:a .
+`
+	ts, err := ParseTriples(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 7 {
+		t.Fatalf("got %d triples, want 7: %v", len(ts), ts)
+	}
+	if ts[0].O != rdf.NewBlank("b1") || ts[1].S != rdf.NewBlank("b1") {
+		t.Error("labelled blank nodes must be shared")
+	}
+	// ex:c ex:knows [ ... ] produces the property triples first, then the
+	// statement triple pointing at the same fresh blank node.
+	if !ts[4].O.IsBlank() || ts[4].O != ts[2].S || ts[2].S != ts[3].S {
+		t.Error("bracketed blank node wiring wrong")
+	}
+	if !ts[5].S.IsBlank() || ts[5].S != ts[6].S {
+		t.Error("subject property list wiring wrong")
+	}
+}
+
+func TestParseCollections(t *testing.T) {
+	src := `
+@prefix ex: <http://x/> .
+ex:a ex:list ( ex:x ex:y ) .
+ex:b ex:list () .
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (ex:x ex:y) expands to 4 triples + 2 statement triples.
+	if g.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", g.Len())
+	}
+	if !g.Has(rdf.T(rdf.NewIRI("http://x/b"), rdf.NewIRI("http://x/list"), rdf.NewIRI(rdf.RDFNil))) {
+		t.Error("empty collection should be rdf:nil")
+	}
+}
+
+func TestParseBase(t *testing.T) {
+	src := `
+@base <http://example.org/> .
+<a> <p> <#frag> .
+`
+	ts, err := ParseTriples(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].S != rdf.NewIRI("http://example.org/a") {
+		t.Errorf("base resolution: %v", ts[0].S)
+	}
+	if ts[0].O != rdf.NewIRI("http://example.org/#frag") {
+		t.Errorf("fragment resolution: %v", ts[0].O)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# leading comment
+@prefix ex: <http://x/> . # trailing
+ex:a ex:p ex:b . # done
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestParseLongStrings(t *testing.T) {
+	src := "@prefix ex: <http://x/> .\nex:a ex:doc \"\"\"line1\nline2\"\"\" ."
+	ts, err := ParseTriples(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].O.Value != "line1\nline2" {
+		t.Errorf("long string value %q", ts[0].O.Value)
+	}
+}
+
+func TestParseUnicodeEscapes(t *testing.T) {
+	ts, err := ParseTriples(`<http://x/a> <http://x/p> "é\U0001F600" .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].O.Value != "é😀" {
+		t.Errorf("unicode escapes: %q", ts[0].O.Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/a> <http://x/p>`,              // missing object + dot
+		`<http://x/a> <http://x/p> <http://x/b>`, // missing dot
+		`ex:a ex:p ex:b .`,                       // undefined prefix
+		`<http://x/a> "lit" <http://x/b> .`,      // literal predicate
+		`<http://x/a> <http://x/p> "unterminated .`,
+		`@prefix ex <http://x/> .`,
+		`<http://x/a> <http://x/p> a .`, // 'a' in object position
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	src := `
+@prefix ex: <http://x/> .
+ex:a ex:p ex:b .
+ex:a ex:name "Alice"@en .
+ex:a ex:age 30 .
+_:b ex:p ex:a .
+`
+	g1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := FormatGraph(g1)
+	g2, err := Parse(nt)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", nt, err)
+	}
+	if !g1.Equal(g2) {
+		t.Errorf("round trip changed graph:\n%s\nvs\n%s", nt, FormatGraph(g2))
+	}
+}
+
+func TestFormatTurtle(t *testing.T) {
+	ts, err := ParseTriples(`
+@prefix ex: <http://x/> .
+ex:a ex:p ex:b ;
+     ex:q "v" .
+ex:b a ex:C .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTurtle(ts, map[string]string{"ex": "http://x/"})
+	if !strings.Contains(out, "@prefix ex: <http://x/> .") {
+		t.Errorf("missing prefix decl in %q", out)
+	}
+	if !strings.Contains(out, "ex:a ex:p ex:b ;") {
+		t.Errorf("missing grouped subject in %q", out)
+	}
+	if !strings.Contains(out, "ex:b a ex:C .") {
+		t.Errorf("missing 'a' abbreviation in %q", out)
+	}
+	// Round-trip the generated Turtle.
+	g2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("generated Turtle does not re-parse: %v\n%s", err, out)
+	}
+	if g2.Len() != 3 {
+		t.Errorf("round trip length %d, want 3", g2.Len())
+	}
+}
+
+func TestParseNumberThenDot(t *testing.T) {
+	// "30." must parse as integer 30 followed by the statement dot.
+	ts, err := ParseTriples(`<http://x/a> <http://x/p> 30.`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].O != rdf.NewTypedLiteral("30", rdf.XSDInteger) {
+		t.Errorf("object = %v", ts[0].O)
+	}
+}
+
+func TestParseNegativeAndDecimalNumbers(t *testing.T) {
+	ts, err := ParseTriples(`<http://x/a> <http://x/p> -4.5 .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].O != rdf.NewTypedLiteral("-4.5", rdf.XSDDecimal) {
+		t.Errorf("object = %v", ts[0].O)
+	}
+}

@@ -1,0 +1,167 @@
+package validator_test
+
+import (
+	"testing"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/turtle"
+	"shaclfrag/internal/validator"
+)
+
+const base = "http://x/"
+
+func iri(s string) rdf.Term { return rdf.NewIRI(base + s) }
+
+func mustGraph(t *testing.T, src string) *rdfgraph.Graph {
+	t.Helper()
+	g, err := turtle.Parse("@prefix ex: <" + base + "> .\n" + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func exampleSchema() *schema.Schema {
+	return schema.MustNew(schema.Definition{
+		Name: iri("S"),
+		Shape: shape.Min(1, paths.P(base+"author"),
+			shape.Min(1, paths.P(base+"type"), shape.Value(iri("Student")))),
+		Target: schema.TargetSubjectsOf(base + "author"),
+	})
+}
+
+func TestValidateWithoutProvenance(t *testing.T) {
+	g := mustGraph(t, `
+ex:p1 ex:author ex:bob . ex:bob ex:type ex:Student .
+ex:p2 ex:author ex:anne .
+`)
+	res := validator.Validate(g, exampleSchema(), validator.Options{})
+	if res.Report.Conforms {
+		t.Error("p2 must violate")
+	}
+	if res.Fragment != nil || res.PerNode != nil {
+		t.Error("no provenance requested")
+	}
+	if res.Checks == 0 {
+		t.Error("check counter must be populated")
+	}
+}
+
+func TestValidateCollectsFragment(t *testing.T) {
+	g := mustGraph(t, `
+ex:p1 ex:author ex:bob . ex:bob ex:type ex:Student .
+ex:p2 ex:author ex:anne .
+ex:junk ex:madeOf ex:cheese .
+`)
+	h := exampleSchema()
+	res := validator.Validate(g, h, validator.Options{CollectProvenance: true})
+	// The fragment equals Frag(G, H) computed by the core extractor.
+	want := core.FragmentSchema(g, h)
+	if len(res.Fragment) != len(want) {
+		t.Fatalf("validator fragment %v\ncore fragment %v", res.Fragment, want)
+	}
+	wantSet := map[rdf.Triple]bool{}
+	for _, tr := range want {
+		wantSet[tr] = true
+	}
+	for _, tr := range res.Fragment {
+		if !wantSet[tr] {
+			t.Fatalf("unexpected fragment triple %v", tr)
+		}
+	}
+	for _, tr := range res.Fragment {
+		if tr.S == iri("junk") {
+			t.Error("unrelated triple extracted")
+		}
+	}
+}
+
+func TestValidatePerNodeProvenance(t *testing.T) {
+	g := mustGraph(t, `
+ex:p1 ex:author ex:bob . ex:bob ex:type ex:Student .
+ex:p3 ex:author ex:carol . ex:carol ex:type ex:Student .
+`)
+	res := validator.Validate(g, exampleSchema(), validator.Options{CollectProvenance: true, PerNode: true})
+	if len(res.PerNode) != 2 {
+		t.Fatalf("PerNode = %+v, want entries for p1 and p3", res.PerNode)
+	}
+	for _, pn := range res.PerNode {
+		// The author edge (which also witnesses the subjects-of target) and
+		// the student typing edge.
+		if len(pn.Triples) != 2 {
+			t.Errorf("neighborhood of %v = %v", pn.Focus, pn.Triples)
+		}
+	}
+	// PerNode mode must still produce the union fragment.
+	if len(res.Fragment) != 4 {
+		t.Errorf("fragment = %v, want 4 triples", res.Fragment)
+	}
+}
+
+// The validator's one-pass extraction must agree with Frag(G, H) on the
+// benchmark suite (each shape validated as a singleton schema and jointly).
+func TestValidatorMatchesCoreOnBenchmark(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 150, Seed: 21})
+	defs := datagen.BenchmarkShapes()
+	h := schema.MustNew(defs...)
+	res := validator.Validate(g, h, validator.Options{CollectProvenance: true})
+	want := core.FragmentSchema(g, h)
+	if len(res.Fragment) != len(want) {
+		t.Fatalf("validator fragment %d triples, core %d", len(res.Fragment), len(want))
+	}
+	wantSet := make(map[rdf.Triple]bool, len(want))
+	for _, tr := range want {
+		wantSet[tr] = true
+	}
+	for _, tr := range res.Fragment {
+		if !wantSet[tr] {
+			t.Fatalf("triple %v not in core fragment", tr)
+		}
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 100, Seed: 4})
+	def := datagen.BenchmarkShapes()[0]
+	m := validator.MeasureOverhead(g, def, 2)
+	if m.ValidateOnly <= 0 || m.WithExtract <= 0 {
+		t.Fatalf("timings must be positive: %+v", m)
+	}
+	if m.Targeted == 0 {
+		t.Error("shape S01 targets events; expected targeted nodes")
+	}
+	if m.FragmentSize == 0 {
+		t.Error("expected a non-empty fragment")
+	}
+	if m.ShapeName != def.Name {
+		t.Error("shape name must round-trip")
+	}
+}
+
+func TestValidateNormalizationPreservesReport(t *testing.T) {
+	// The validator normalizes shapes to NNF internally; reports must agree
+	// with direct (un-normalized) validation.
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 120, Seed: 9})
+	h := schema.MustNew(datagen.BenchmarkShapes()...)
+	direct := h.Validate(g)
+	instrumented := validator.Validate(g, h, validator.Options{})
+	if direct.Conforms != instrumented.Report.Conforms {
+		t.Fatal("conformance differs after normalization")
+	}
+	if len(direct.Results) != len(instrumented.Report.Results) {
+		t.Fatalf("result counts differ: %d vs %d",
+			len(direct.Results), len(instrumented.Report.Results))
+	}
+	for i := range direct.Results {
+		if direct.Results[i] != instrumented.Report.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v",
+				i, direct.Results[i], instrumented.Report.Results[i])
+		}
+	}
+}

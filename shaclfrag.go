@@ -1,0 +1,278 @@
+// Package shaclfrag is a Go implementation of data provenance for SHACL,
+// reproducing "Data Provenance for SHACL" (EDBT 2023). It computes, for a
+// node v conforming to a SHACL shape φ in an RDF graph G, the neighborhood
+// B(v, G, φ): the subgraph of G that explains the conformance. The
+// neighborhoods satisfy the provenance Sufficiency property (Theorem 3.4)
+// and give rise to shape fragments — subgraph retrieval by shapes
+// (Section 4).
+//
+// The package offers two computation strategies, mirroring Section 5 of
+// the paper: direct extraction with an instrumented validation engine, and
+// translation into SPARQL algebra (with concrete-syntax rendering).
+//
+// Basic usage:
+//
+//	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+//	h, _ := shaclfrag.ParseShapesGraph(shapesTurtle)
+//	report := shaclfrag.Validate(g, h)
+//	frag := shaclfrag.FragmentSchema(g, h) // provenance-backed subgraph
+package shaclfrag
+
+import (
+	"sort"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/sparql"
+	"shaclfrag/internal/sparqltrans"
+	"shaclfrag/internal/tpf"
+	"shaclfrag/internal/turtle"
+	"shaclfrag/internal/validator"
+)
+
+// Core data model.
+type (
+	// Term is an RDF term: IRI, blank node or literal.
+	Term = rdf.Term
+	// Triple is an RDF triple.
+	Triple = rdf.Triple
+	// Graph is an in-memory, indexed RDF graph.
+	Graph = rdfgraph.Graph
+	// Shape is a formal SHACL shape expression (Section 2 of the paper).
+	Shape = shape.Shape
+	// NodeTest is a test on a single node (the set Ω).
+	NodeTest = shape.NodeTest
+	// PathExpr is a SHACL property path expression.
+	PathExpr = paths.Expr
+	// Schema is a set of shape definitions (a formal shapes graph).
+	Schema = schema.Schema
+	// Definition is one shape definition (name, shape, target).
+	Definition = schema.Definition
+	// Report is a validation report.
+	Report = schema.Report
+	// ValidationResult is an instrumented validation outcome, including
+	// extracted provenance when requested.
+	ValidationResult = validator.Result
+	// TriplePattern is a TPF triple pattern (Section 6.1).
+	TriplePattern = tpf.Pattern
+)
+
+// Term constructors.
+var (
+	// IRI builds an IRI term.
+	IRI = rdf.NewIRI
+	// Blank builds a blank node term.
+	Blank = rdf.NewBlank
+	// String builds an xsd:string literal.
+	String = rdf.NewString
+	// LangString builds a language-tagged literal.
+	LangString = rdf.NewLangString
+	// Integer builds an xsd:integer literal.
+	Integer = rdf.NewInteger
+	// Decimal builds an xsd:decimal literal.
+	Decimal = rdf.NewDecimal
+	// TypedLiteral builds a literal with an explicit datatype.
+	TypedLiteral = rdf.NewTypedLiteral
+	// T builds a triple.
+	T = rdf.T
+)
+
+// Shape constructors (the grammar of Section 2).
+var (
+	// True is ⊤.
+	True = shape.TrueShape
+	// False is ⊥.
+	False = shape.FalseShape
+	// HasValue is hasValue(c).
+	HasValue = shape.Value
+	// HasShape is hasShape(s).
+	HasShape = shape.Ref
+	// Test is test(t).
+	Test = shape.NodeTestShape
+	// MinCount is ≥n E.φ.
+	MinCount = shape.Min
+	// MaxCount is ≤n E.φ.
+	MaxCount = shape.Max
+	// ForAll is ∀E.φ.
+	ForAll = shape.All
+	// EqPath is eq(E, p); EqID is eq(id, p).
+	EqPath = shape.EqPath
+	// EqID is eq(id, p).
+	EqID = shape.EqID
+	// DisjPath is disj(E, p); DisjID is disj(id, p).
+	DisjPath = shape.DisjPath
+	// DisjID is disj(id, p).
+	DisjID = shape.DisjID
+	// Closed is closed(P).
+	Closed = shape.ClosedShape
+	// LessThan is lessThan(E, p).
+	LessThan = shape.Less
+	// LessThanEq is lessThanEq(E, p).
+	LessThanEq = shape.LessEq
+	// UniqueLang is uniqueLang(E).
+	UniqueLang = shape.UniqueLangShape
+	// MoreThan is moreThan(E, p), the Remark 2.3 extension.
+	MoreThan = shape.More
+	// MoreThanEq is moreThanEq(E, p).
+	MoreThanEq = shape.MoreEq
+	// Not is ¬φ.
+	Not = shape.Neg
+	// And is conjunction; Or is disjunction.
+	And = shape.AndOf
+	// Or is disjunction.
+	Or = shape.OrOf
+	// NNF rewrites a shape into negation normal form.
+	NNF = shape.NNF
+)
+
+// Path expression constructors.
+var (
+	// Prop is an atomic property path.
+	Prop = paths.P
+	// Inverse is E⁻.
+	Inverse = paths.Inv
+	// SeqPath is E1/E2/…; AltPath is E1 ∪ E2 ∪ ….
+	SeqPath = paths.SeqOf
+	// AltPath is E1 ∪ E2 ∪ ….
+	AltPath = paths.AltOf
+	// ParsePath parses SPARQL-like property path syntax.
+	ParsePath = paths.Parse
+)
+
+// Target constructors (the four real-SHACL target forms, all monotone).
+var (
+	// TargetNode targets a specific node.
+	TargetNode = schema.TargetNode
+	// TargetClass targets instances of a class (including subclasses).
+	TargetClass = schema.TargetClass
+	// TargetSubjectsOf targets subjects of a property.
+	TargetSubjectsOf = schema.TargetSubjectsOf
+	// TargetObjectsOf targets objects of a property.
+	TargetObjectsOf = schema.TargetObjectsOf
+)
+
+// ParseShape parses the textual shape syntax (the paper's notation, ASCII
+// or Unicode), e.g. ">=1 author.(>=1 type.hasValue(<http://x/Student>))".
+// Bare property names expand with base.
+func ParseShape(src, base string) (Shape, error) { return shape.Parse(src, base) }
+
+// ParseTurtle parses a Turtle document into a graph.
+func ParseTurtle(src string) (*Graph, error) { return turtle.Parse(src) }
+
+// FormatNTriples serializes triples in canonical N-Triples form.
+func FormatNTriples(ts []Triple) string { return turtle.FormatNTriples(ts) }
+
+// FormatGraph serializes a graph in canonical N-Triples form.
+func FormatGraph(g *Graph) string { return turtle.FormatGraph(g) }
+
+// ParseShapesGraph parses a real SHACL shapes graph (Turtle) and translates
+// it into a formal schema per Appendix A of the paper.
+func ParseShapesGraph(src string) (*Schema, error) { return shaclsyn.ParseSchema(src) }
+
+// FormatShapesGraph serializes a formal schema back into a real SHACL
+// shapes graph in Turtle (the inverse of ParseShapesGraph). Shapes with no
+// SHACL counterpart (moreThan/moreThanEq) are rejected.
+func FormatShapesGraph(h *Schema) (string, error) { return shaclsyn.Format(h) }
+
+// NewSchema builds a schema from definitions, rejecting duplicates and
+// recursion.
+func NewSchema(defs ...Definition) (*Schema, error) { return schema.New(defs...) }
+
+// Validate checks whether g conforms to h and reports per-node results.
+func Validate(g *Graph, h *Schema) *Report { return h.Validate(g) }
+
+// ValidateWithProvenance validates and simultaneously extracts the
+// neighborhoods of all conforming targeted nodes (the instrumented-engine
+// strategy of Section 5.2). The union of the neighborhoods is Frag(G, H).
+func ValidateWithProvenance(g *Graph, h *Schema) *ValidationResult {
+	return validator.Validate(g, h, validator.Options{CollectProvenance: true, PerNode: true})
+}
+
+// Neighborhood computes B(v, G, φ), the provenance of v conforming to φ.
+// The schema may be nil when φ contains no hasShape references. The result
+// is empty when v does not conform.
+func Neighborhood(g *Graph, h *Schema, v Term, phi Shape) []Triple {
+	return core.Neighborhood(g, defsOrNil(h), v, phi)
+}
+
+// WhyNot computes B(v, G, ¬φ): the explanation of non-conformance
+// (Remark 3.7). Empty when v conforms.
+func WhyNot(g *Graph, h *Schema, v Term, phi Shape) []Triple {
+	return core.NewExtractor(g, defsOrNil(h)).WhyNot(v, phi)
+}
+
+// Conforms reports H, G, v ⊨ φ.
+func Conforms(g *Graph, h *Schema, v Term, phi Shape) bool {
+	return shape.NewEvaluator(g, defsOrNil(h)).ConformsTerm(v, phi)
+}
+
+// Fragment computes Frag(G, S) for request shapes S: the union of all
+// neighborhoods of all nodes, a provenance-backed subgraph of G.
+func Fragment(g *Graph, h *Schema, requests ...Shape) []Triple {
+	return core.Fragment(g, defsOrNil(h), requests...)
+}
+
+// FragmentSchema computes Frag(G, H), requesting φ ∧ τ for every
+// definition. If G conforms to H (with monotone targets), so does the
+// fragment (Theorem 4.1).
+func FragmentSchema(g *Graph, h *Schema) []Triple {
+	return core.FragmentSchema(g, h)
+}
+
+// defsOrNil avoids a typed-nil Defs interface when no schema is given.
+func defsOrNil(h *Schema) shape.Defs {
+	if h == nil {
+		return nil
+	}
+	return h
+}
+
+// NeighborhoodSPARQL renders the SPARQL query Q_φ(?v,?s,?p,?o) computing
+// all neighborhoods for φ (Proposition 5.3).
+func NeighborhoodSPARQL(h *Schema, phi Shape) string {
+	tr := sparqltrans.New(defsOrNil(h))
+	return sparql.Render(tr.Neighborhood(phi, "v", "s", "p", "o"), "v", "s", "p", "o")
+}
+
+// FragmentSPARQL renders the SPARQL query Q_S(?s,?p,?o) computing
+// Frag(G, S) (Corollary 5.5).
+func FragmentSPARQL(h *Schema, requests ...Shape) string {
+	tr := sparqltrans.New(defsOrNil(h))
+	return sparql.Render(tr.FragmentQuery(requests, "s", "p", "o"), "s", "p", "o")
+}
+
+// FragmentViaSPARQL computes Frag(G, S) by building and evaluating the
+// SPARQL translation instead of the direct extractor — the strategy of
+// Section 5.1. The two strategies agree (and are property-tested to).
+func FragmentViaSPARQL(g *Graph, h *Schema, requests ...Shape) []Triple {
+	tr := sparqltrans.New(defsOrNil(h))
+	op := tr.FragmentQuery(requests, "s", "p", "o")
+	var out []Triple
+	for _, row := range sparql.Select(op, g, "s", "p", "o") {
+		s, okS := row["s"]
+		p, okP := row["p"]
+		o, okO := row["o"]
+		if okS && okP && okO {
+			out = append(out, rdf.T(s, p, o))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return rdf.CompareTriples(out[i], out[j]) < 0 })
+	return out
+}
+
+// TPFVar and TPFConst build triple pattern positions.
+var (
+	// TPFVar is a variable position of a triple pattern.
+	TPFVar = tpf.V
+	// TPFConst is a constant position of a triple pattern.
+	TPFConst = tpf.C
+)
+
+// TPFRequestShape maps a triple pattern to an equivalent request shape per
+// Proposition 6.2, reporting whether the pattern is expressible.
+func TPFRequestShape(p TriplePattern) (Shape, bool) { return p.RequestShape() }

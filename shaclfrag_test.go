@@ -1,0 +1,183 @@
+package shaclfrag_test
+
+import (
+	"strings"
+	"testing"
+
+	shaclfrag "shaclfrag"
+)
+
+const dataTurtle = `
+@prefix ex: <http://x/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:p1 rdf:type ex:Paper ; ex:author ex:anne , ex:bob .
+ex:anne rdf:type ex:Professor .
+ex:bob rdf:type ex:Student .
+ex:unrelated ex:madeOf ex:cheese .
+`
+
+const shapesTurtle = `
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://x/> .
+ex:WorkshopShape a sh:NodeShape ;
+  sh:targetClass ex:Paper ;
+  sh:property [
+    sh:path ex:author ; sh:qualifiedMinCount 1 ;
+    sh:qualifiedValueShape [ sh:class ex:Student ] ] .
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := shaclfrag.ParseTurtle(dataTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := shaclfrag.ParseShapesGraph(shapesTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := shaclfrag.Validate(g, h)
+	if !report.Conforms {
+		t.Fatalf("graph must conform: %+v", report.Violations())
+	}
+	frag := shaclfrag.FragmentSchema(g, h)
+	if len(frag) != 3 {
+		t.Fatalf("fragment = %v, want 3 triples (typing, author, student)", frag)
+	}
+	nt := shaclfrag.FormatNTriples(frag)
+	if strings.Contains(nt, "cheese") {
+		t.Error("unrelated data must be excluded from the fragment")
+	}
+	// The fragment still conforms (Theorem 4.1).
+	fragGraph, err := shaclfrag.ParseTurtle(nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shaclfrag.Validate(fragGraph, h).Conforms {
+		t.Error("fragment must conform to the schema")
+	}
+}
+
+func TestFacadeNeighborhoodAndWhyNot(t *testing.T) {
+	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+	phi := shaclfrag.MinCount(1, shaclfrag.Prop("http://x/author"),
+		shaclfrag.MinCount(1, shaclfrag.Prop("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+			shaclfrag.HasValue(shaclfrag.IRI("http://x/Student"))))
+	p1 := shaclfrag.IRI("http://x/p1")
+	if !shaclfrag.Conforms(g, nil, p1, phi) {
+		t.Fatal("p1 must conform")
+	}
+	n := shaclfrag.Neighborhood(g, nil, p1, phi)
+	if len(n) != 2 {
+		t.Fatalf("neighborhood = %v, want 2 triples", n)
+	}
+	if why := shaclfrag.WhyNot(g, nil, p1, phi); len(why) != 0 {
+		t.Errorf("WhyNot of conforming node must be empty, got %v", why)
+	}
+	anne := shaclfrag.IRI("http://x/anne")
+	why := shaclfrag.WhyNot(g, nil, anne, phi)
+	if len(why) != 0 {
+		// anne has no author edges at all, so ¬φ = ≤0 author.… holds with
+		// an empty witness set.
+		t.Errorf("WhyNot(anne) = %v, want empty (vacuous non-conformance)", why)
+	}
+}
+
+func TestFacadeValidateWithProvenance(t *testing.T) {
+	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+	h, _ := shaclfrag.ParseShapesGraph(shapesTurtle)
+	res := shaclfrag.ValidateWithProvenance(g, h)
+	if !res.Report.Conforms {
+		t.Fatal("must conform")
+	}
+	if len(res.Fragment) != 3 {
+		t.Fatalf("fragment = %v", res.Fragment)
+	}
+	if len(res.PerNode) == 0 {
+		t.Fatal("per-node provenance missing")
+	}
+	found := false
+	for _, pn := range res.PerNode {
+		if pn.Focus == shaclfrag.IRI("http://x/p1") && len(pn.Triples) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("per-node provenance for p1 missing: %+v", res.PerNode)
+	}
+}
+
+func TestFacadeSPARQLStrategies(t *testing.T) {
+	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+	phi := shaclfrag.MinCount(1, shaclfrag.Prop("http://x/author"), shaclfrag.True())
+	direct := shaclfrag.Fragment(g, nil, phi)
+	viaSPARQL := shaclfrag.FragmentViaSPARQL(g, nil, phi)
+	if len(direct) != len(viaSPARQL) {
+		t.Fatalf("strategies disagree: direct %v vs SPARQL %v", direct, viaSPARQL)
+	}
+	text := shaclfrag.FragmentSPARQL(nil, phi)
+	if !strings.Contains(text, "SELECT ?s ?p ?o") {
+		t.Errorf("query text: %s", text)
+	}
+	ntext := shaclfrag.NeighborhoodSPARQL(nil, phi)
+	if !strings.Contains(ntext, "SELECT ?v ?s ?p ?o") {
+		t.Errorf("neighborhood query text: %s", ntext)
+	}
+}
+
+func TestFacadeTPF(t *testing.T) {
+	pattern := shaclfrag.TriplePattern{
+		S: shaclfrag.TPFVar("x"),
+		P: shaclfrag.TPFConst(shaclfrag.IRI("http://x/author")),
+		O: shaclfrag.TPFVar("y"),
+	}
+	phi, ok := shaclfrag.TPFRequestShape(pattern)
+	if !ok {
+		t.Fatal("(?x, author, ?y) must be expressible")
+	}
+	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+	frag := shaclfrag.Fragment(g, nil, phi)
+	if len(frag) != 2 {
+		t.Fatalf("fragment = %v, want the 2 author triples", frag)
+	}
+}
+
+func TestFacadeParsePath(t *testing.T) {
+	e, err := shaclfrag.ParsePath("author/^author", "http://x/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+	// co-paper relation: p1 is its own co-paper.
+	phi := shaclfrag.MinCount(1, e, shaclfrag.HasValue(shaclfrag.IRI("http://x/p1")))
+	if !shaclfrag.Conforms(g, nil, shaclfrag.IRI("http://x/p1"), phi) {
+		t.Error("p1 must reach itself via author/^author")
+	}
+}
+
+func TestFacadeFormatShapesGraph(t *testing.T) {
+	h, _ := shaclfrag.ParseShapesGraph(shapesTurtle)
+	out, err := shaclfrag.FormatShapesGraph(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := shaclfrag.ParseShapesGraph(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+	if shaclfrag.Validate(g, h).Conforms != shaclfrag.Validate(g, h2).Conforms {
+		t.Error("serialization round trip changed validation outcome")
+	}
+}
+
+func TestFacadeParseShape(t *testing.T) {
+	phi, err := shaclfrag.ParseShape(">=1 author.top", "http://x/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := shaclfrag.ParseTurtle(dataTurtle)
+	frag := shaclfrag.Fragment(g, nil, phi)
+	if len(frag) != 2 {
+		t.Fatalf("fragment = %v, want the 2 author triples", frag)
+	}
+}
