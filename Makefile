@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race vet bench check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The rdfgraph and core suites include concurrency tests written for the
+# race detector; this is the target that gives them teeth.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run NONE .
+
+# One benchmark run of the parallel-extraction series only.
+bench-parallel:
+	$(GO) test -bench FragmentParallel -benchmem -run NONE .
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -206,6 +206,47 @@ func BenchmarkAblationPathTracing(b *testing.B) {
 	})
 }
 
+// BenchmarkFragmentParallel compares serial Fragment against
+// FragmentParallel at increasing worker counts, over the whole benchmark
+// schema. The serial baseline uses the same extractor entry point the
+// fragserver subsystem did before parallelization; speedups materialize on
+// multi-core hosts (workers beyond GOMAXPROCS only add coordination cost).
+func BenchmarkFragmentParallel(b *testing.B) {
+	g := tyrolGraph(1000)
+	h := schema.MustNew(datagen.BenchmarkShapes()...)
+	requests := core.SchemaRequests(h)
+	g.Freeze() // serving configuration: immutable graph shared by workers
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.NewExtractor(g, h).Fragment(requests)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewExtractor(g, h).FragmentParallel(requests,
+					core.ParallelOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("workers=4/cached", func(b *testing.B) {
+		cache := core.NewNeighborhoodCache(1 << 22)
+		opts := core.ParallelOptions{Workers: 4, Cache: cache}
+		if _, err := core.NewExtractor(g, h).FragmentParallel(requests, opts); err != nil {
+			b.Fatal(err) // warm the cache before timing
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewExtractor(g, h).FragmentParallel(requests, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkWhyNot measures why-not provenance extraction across a whole
 // violation report (Remark 3.7).
 func BenchmarkWhyNot(b *testing.B) {

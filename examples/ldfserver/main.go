@@ -1,99 +1,36 @@
-// Ldfserver: a Linked-Data-Fragments-style HTTP interface (Section 7 and
+// Ldfserver: a Linked-Data-Fragments-style HTTP demo (Section 7 and
 // Figure 4 of the paper position shape fragments between Triple Pattern
-// Fragments and full SPARQL endpoints). The server hosts a synthetic
-// tourism graph and answers:
+// Fragments and full SPARQL endpoints). It is a thin client of the
+// internal/fragserver subsystem — cmd/fragserver is the production entry
+// point; this example hosts a small synthetic tourism graph, issues a demo
+// request against every endpoint, and exits (run with -serve to keep it
+// listening):
 //
 //	GET /validate                   — validation report for the hosted schema
-//	GET /fragment?shape=<name>      — the shape fragment of one definition
 //	GET /fragment                   — Frag(G, H) for the whole schema
+//	GET /fragment?shape=<name>      — the shape fragment of one definition
+//	GET /node?iri=<iri>&shape=<n>   — the neighborhood B(v, G, φ) of one node
 //	GET /tpf?s=&p=&o=               — a triple pattern fragment
-//
-// By default it binds an ephemeral port, issues demo requests against
-// itself, and exits; run with -serve to keep it listening.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/url"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	shaclfrag "shaclfrag"
 	"shaclfrag/internal/datagen"
-	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/fragserver"
 	"shaclfrag/internal/schema"
-	"shaclfrag/internal/shape"
-	"shaclfrag/internal/tpf"
 )
-
-type server struct {
-	graph  *shaclfrag.Graph
-	schema *shaclfrag.Schema
-}
-
-func (s *server) routes() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /validate", s.handleValidate)
-	mux.HandleFunc("GET /fragment", s.handleFragment)
-	mux.HandleFunc("GET /tpf", s.handleTPF)
-	return mux
-}
-
-func (s *server) handleValidate(w http.ResponseWriter, _ *http.Request) {
-	report := shaclfrag.Validate(s.graph, s.schema)
-	fmt.Fprintf(w, "conforms: %v\nfocus nodes: %d\nviolations: %d\n",
-		report.Conforms, report.TargetedNodes, len(report.Violations()))
-}
-
-func (s *server) handleFragment(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("shape")
-	var triples []shaclfrag.Triple
-	if name == "" {
-		triples = shaclfrag.FragmentSchema(s.graph, s.schema)
-	} else {
-		var def *schema.Definition
-		for i, d := range s.schema.Definitions() {
-			if strings.HasSuffix(d.Name.Value, name) {
-				def = &s.schema.Definitions()[i]
-				break
-			}
-		}
-		if def == nil {
-			http.Error(w, "unknown shape "+name, http.StatusNotFound)
-			return
-		}
-		triples = shaclfrag.Fragment(s.graph, s.schema, shape.AndOf(def.Shape, def.Target))
-	}
-	w.Header().Set("Content-Type", "application/n-triples")
-	io.WriteString(w, shaclfrag.FormatNTriples(triples))
-}
-
-func (s *server) handleTPF(w http.ResponseWriter, r *http.Request) {
-	pos := func(raw, fallback string) tpf.Pos {
-		switch {
-		case raw == "":
-			return tpf.V(fallback)
-		case strings.HasPrefix(raw, "?"):
-			return tpf.V(strings.TrimPrefix(raw, "?"))
-		default:
-			return tpf.C(rdf.NewIRI(strings.Trim(raw, "<>")))
-		}
-	}
-	q := r.URL.Query()
-	pattern := tpf.Pattern{
-		S: pos(q.Get("s"), "s"),
-		P: pos(q.Get("p"), "p"),
-		O: pos(q.Get("o"), "o"),
-	}
-	if phi, ok := pattern.RequestShape(); ok {
-		w.Header().Set("X-Request-Shape", phi.String())
-	}
-	w.Header().Set("Content-Type", "application/n-triples")
-	io.WriteString(w, shaclfrag.FormatNTriples(pattern.Eval(s.graph)))
-}
 
 func main() {
 	serve := flag.Bool("serve", false, "keep serving instead of running the demo requests")
@@ -103,21 +40,33 @@ func main() {
 
 	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: *individuals, Seed: 1})
 	defs := datagen.BenchmarkShapes()[:8]
-	srv := &server{graph: g, schema: schema.MustNew(defs...)}
+	srv, err := fragserver.New(fragserver.Config{
+		Graph:  g,
+		Schema: schema.MustNew(defs...),
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)), // quiet demo
+	})
+	if err != nil {
+		panic(err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("hosting %d triples at http://%s\n", g.Len(), ln.Addr())
-	httpServer := &http.Server{Handler: srv.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *serve {
-		if err := httpServer.Serve(ln); err != nil {
+		if err := srv.Serve(ctx, ln, 0); err != nil {
 			panic(err)
 		}
 		return
 	}
-	go httpServer.Serve(ln) //nolint:errcheck — shut down by process exit
+
+	done := make(chan error, 1)
+	serveCtx, cancel := context.WithCancel(ctx)
+	go func() { done <- srv.Serve(serveCtx, ln, 0) }()
 
 	base := "http://" + ln.Addr().String()
 	get := func(path string) string {
@@ -132,15 +81,28 @@ func main() {
 		}
 		return string(body)
 	}
+
 	fmt.Println("\nGET /validate")
 	fmt.Print(get("/validate"))
 
 	frag := get("/fragment?shape=S01")
 	fmt.Printf("\nGET /fragment?shape=S01 → %d triples\n", strings.Count(frag, "\n"))
 
+	focus := strings.SplitN(frag, " ", 2)[0] // some subject of the fragment
+	if strings.HasPrefix(focus, "<") {
+		nodePath := "/node?iri=" + url.QueryEscape(focus) + "&shape=S01"
+		node := get(nodePath)
+		fmt.Printf("\nGET /node?iri=%s&shape=S01 → %d triples\n", focus, strings.Count(node, "\n"))
+	}
+
 	tpfQuery := "/tpf?s=&p=" + url.QueryEscape("<"+datagen.PropName+">") + "&o="
 	tpfResult := get(tpfQuery)
 	lines := strings.SplitN(tpfResult, "\n", 3)
 	fmt.Printf("\nGET /tpf (all name triples) → %d triples, e.g.:\n%s\n",
 		strings.Count(tpfResult, "\n")-1, lines[0])
+
+	cancel() // trigger graceful shutdown, draining in-flight requests
+	if err := <-done; err != nil {
+		panic(err)
+	}
 }

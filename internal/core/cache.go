@@ -1,0 +1,146 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/shape"
+)
+
+// NeighborhoodCache is a concurrency-safe, size-bounded LRU cache of
+// per-(node, shape) neighborhoods B(v, G, φ), stored as dictionary-encoded
+// triples. It lets a serving subsystem answer repeated fragment and
+// neighborhood requests against the same (frozen) graph from memory.
+//
+// Keys use shape identity: callers must pass pointer-stable request shapes
+// (e.g. the SchemaRequests slice computed once at startup), otherwise every
+// request misses. The cached slices are shared between callers and must be
+// treated as immutable.
+//
+// The bound is expressed in triples, not entries, because neighborhood
+// sizes vary by orders of magnitude; an empty neighborhood still costs one
+// unit so that negative results are bounded too.
+type NeighborhoodCache struct {
+	mu     sync.Mutex
+	budget int
+	size   int
+	ll     *list.List // front = most recently used
+	items  map[neighborhoodKey]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type neighborhoodKey struct {
+	node  rdfgraph.ID
+	shape shape.Shape
+}
+
+type neighborhoodEntry struct {
+	key     neighborhoodKey
+	triples []rdfgraph.IDTriple
+}
+
+// NewNeighborhoodCache returns a cache bounded to about maxTriples cached
+// triples in total; maxTriples <= 0 selects a default of one million.
+func NewNeighborhoodCache(maxTriples int) *NeighborhoodCache {
+	if maxTriples <= 0 {
+		maxTriples = 1 << 20
+	}
+	return &NeighborhoodCache{
+		budget: maxTriples,
+		ll:     list.New(),
+		items:  make(map[neighborhoodKey]*list.Element),
+	}
+}
+
+func entryCost(ts []rdfgraph.IDTriple) int {
+	if len(ts) == 0 {
+		return 1
+	}
+	return len(ts)
+}
+
+// Get returns the cached neighborhood of (v, φ) and whether it was present.
+func (c *NeighborhoodCache) Get(v rdfgraph.ID, phi shape.Shape) ([]rdfgraph.IDTriple, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[neighborhoodKey{node: v, shape: phi}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*neighborhoodEntry).triples, true
+}
+
+// Put stores the neighborhood of (v, φ), evicting least-recently-used
+// entries until it fits. Neighborhoods larger than the whole budget are not
+// cached at all.
+func (c *NeighborhoodCache) Put(v rdfgraph.ID, phi shape.Shape, ts []rdfgraph.IDTriple) {
+	cost := entryCost(ts)
+	if cost > c.budget {
+		return
+	}
+	key := neighborhoodKey{node: v, shape: phi}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Concurrent workers may compute the same neighborhood; keep the
+		// incumbent (the results are identical) and just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.size+cost > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*neighborhoodEntry)
+		c.ll.Remove(back)
+		delete(c.items, ev.key)
+		c.size -= entryCost(ev.triples)
+	}
+	c.items[key] = c.ll.PushFront(&neighborhoodEntry{key: key, triples: ts})
+	c.size += cost
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits, Misses     uint64
+	Entries, Triples int
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *NeighborhoodCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Triples: c.size}
+}
+
+// Len returns the number of cached neighborhoods.
+func (c *NeighborhoodCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// NeighborhoodIDsCached computes B(v, G, φ) as dictionary-encoded triples,
+// serving from and filling cache when it is non-nil. For cache hits to
+// occur, φ must be the same Shape value across calls (see NeighborhoodCache
+// on key identity). The returned slice is shared and must not be modified.
+func (x *Extractor) NeighborhoodIDsCached(cache *NeighborhoodCache, v rdfgraph.ID, phi shape.Shape) []rdfgraph.IDTriple {
+	if cache != nil {
+		if ts, ok := cache.Get(v, phi); ok {
+			return ts
+		}
+	}
+	out := rdfgraph.NewIDTripleSet()
+	x.collect(v, x.nnf(phi), out, make(map[VisitKey]struct{}))
+	ts := out.IDTriples()
+	if cache != nil {
+		cache.Put(v, phi, ts)
+	}
+	return ts
+}

@@ -87,8 +87,25 @@ type VisitKey struct {
 // list. If v does not conform to φ, the result is empty.
 func (x *Extractor) Neighborhood(v rdf.Term, phi shape.Shape) []rdf.Triple {
 	out := rdfgraph.NewIDTripleSet()
-	x.NeighborhoodInto(x.ev.G.TermID(v), phi, out, make(map[VisitKey]struct{}))
+	if id, ok := x.FocusID(v); ok {
+		x.NeighborhoodInto(id, phi, out, make(map[VisitKey]struct{}))
+	}
 	return out.Triples(x.ev.G.Dict())
+}
+
+// FocusID resolves a focus term to a dictionary ID, interning it while the
+// graph is still mutable. On a frozen graph an unseen term reports ok =
+// false: such a node touches no triple of G, so every neighborhood of it is
+// empty and extraction can be skipped entirely.
+func (x *Extractor) FocusID(v rdf.Term) (rdfgraph.ID, bool) {
+	g := x.ev.G
+	if id := g.LookupTerm(v); id != rdfgraph.NoID {
+		return id, true
+	}
+	if g.Frozen() {
+		return rdfgraph.NoID, false
+	}
+	return g.TermID(v), true
 }
 
 // WhyNot computes B(v, G, ¬φ), the why-not provenance for a node that does
@@ -185,8 +202,12 @@ func (x *Extractor) collect(v rdfgraph.ID, phi shape.Shape, out *rdfgraph.IDTrip
 
 	case *shape.Eq:
 		if s.Path == nil {
-			// eq(id, p): {(v, p, v)}
-			out.Add(rdfgraph.IDTriple{S: v, P: g.TermID(rdf.NewIRI(s.P)), O: v})
+			// eq(id, p): {(v, p, v)}. Conformance requires (v, p, v) ∈ G,
+			// so p is always interned; the lookup keeps extraction free of
+			// dictionary writes (needed for concurrent workers).
+			if pid := g.LookupTerm(rdf.NewIRI(s.P)); pid != rdfgraph.NoID {
+				out.Add(rdfgraph.IDTriple{S: v, P: pid, O: v})
+			}
 			return
 		}
 		// eq(E, p): ⋃ { graph(paths(E ∪ p, G, v, x)) | x ∈ ⟦E ∪ p⟧G(v) }
@@ -214,8 +235,14 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 		x.collect(v, x.negNNF(x.ev.Def(s.Name)), out, visited)
 
 	case *shape.Eq:
-		pid := g.TermID(rdf.NewIRI(s.P))
+		// A predicate absent from the dictionary has no triples, so every
+		// (v, p, x) emission below is vacuous; LookupTerm (not TermID)
+		// keeps negated-atom extraction read-only on the graph.
+		pid := g.LookupTerm(rdf.NewIRI(s.P))
 		if s.Path == nil {
+			if pid == rdfgraph.NoID {
+				return // no p-triples: nothing to witness
+			}
 			// ¬eq(id, p): {(v, p, x) ∈ G | x ≠ v}
 			for _, o := range x.ev.PropValues(v, s.P) {
 				if o != v {
@@ -253,7 +280,10 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 		}
 
 	case *shape.Disj:
-		pid := g.TermID(rdf.NewIRI(s.P))
+		pid := g.LookupTerm(rdf.NewIRI(s.P))
+		if pid == rdfgraph.NoID {
+			return // ¬disj needs a shared p-value, so p occurs in G
+		}
 		if s.Path == nil {
 			// ¬disj(id, p): {(v, p, v)}
 			out.Add(rdfgraph.IDTriple{S: v, P: pid, O: v})
@@ -335,7 +365,10 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 // (cmp = LessEq): E-paths to x plus p-edges (v,p,y) with ¬cmp(x, y).
 func (x *Extractor) collectNegatedOrder(v rdfgraph.ID, path paths.Expr, p string, cmp func(a, b rdf.Term) bool, out *rdfgraph.IDTripleSet) {
 	g := x.ev.G
-	pid := g.TermID(rdf.NewIRI(p))
+	pid := g.LookupTerm(rdf.NewIRI(p))
+	if pid == rdfgraph.NoID {
+		return // no p-values means no order violation to witness
+	}
 	pe := x.ev.PathEval(path)
 	pValues := x.ev.PropValues(v, p)
 	var witnesses []rdfgraph.ID

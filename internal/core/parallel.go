@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+// ParallelOptions configures FragmentParallel.
+type ParallelOptions struct {
+	// Workers is the number of extraction goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0). One worker degrades to the serial algorithm on
+	// the calling extractor.
+	Workers int
+	// Cache, when non-nil, serves per-(node, request) neighborhoods from
+	// memory and stores misses. Caching switches accumulation from shared
+	// per-worker visited sets to isolated per-node units (the cacheable
+	// granularity); first-time extraction is therefore somewhat slower, in
+	// exchange for repeated requests being nearly free.
+	Cache *NeighborhoodCache
+	// Ctx, when non-nil, aborts extraction between work units; the error
+	// returned is ctx.Err(). Used by the HTTP server for request timeouts.
+	Ctx context.Context
+}
+
+// FragmentParallel computes Frag(G, S) like Fragment, fanning the
+// target-node loop out over a worker pool. Each worker owns a private
+// evaluator, visited set, and triple accumulator; the per-worker sets are
+// unioned at the end, so the result is exactly Fragment's (the union of
+// neighborhoods is order-independent), in identical canonical order.
+//
+// The graph must not be mutated during the call. All evaluation and
+// extraction paths are read-only on the graph — freeze it (Graph.Freeze) to
+// have that enforced.
+func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOptions) ([]rdf.Triple, error) {
+	g := x.ev.G
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Normalize once on the calling extractor so every worker agrees on
+	// shape identity and none re-derives NNF.
+	nnfs := make([]shape.Shape, len(requests))
+	for i, phi := range requests {
+		nnfs[i] = x.nnf(phi)
+	}
+	nodes := g.NodeIDs()
+	if workers == 1 || len(nodes) == 0 || len(requests) == 0 {
+		return x.fragmentSerial(requests, nnfs, nodes, opts)
+	}
+
+	// Chunked work stealing over the (request, node-range) grid: chunks
+	// small enough to balance skewed neighborhoods, large enough that the
+	// atomic counter and evaluator cache misses stay in the noise.
+	chunk := len(nodes) / (workers * 8)
+	if chunk < 16 {
+		chunk = 16
+	}
+	nchunks := (len(nodes) + chunk - 1) / chunk
+	total := nchunks * len(requests)
+
+	outs := make([]*rdfgraph.IDTripleSet, workers)
+	var next atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		out := rdfgraph.NewIDTripleSet()
+		outs[w] = out
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wx := NewExtractor(g, x.ev.Defs)
+			visited := make(map[VisitKey]struct{})
+			for {
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				u := int(next.Add(1)) - 1
+				if u >= total {
+					return
+				}
+				req, ci := u/nchunks, u%nchunks
+				lo := ci * chunk
+				hi := lo + chunk
+				if hi > len(nodes) {
+					hi = len(nodes)
+				}
+				wx.extractRange(requests[req], nnfs[req], nodes[lo:hi], out, visited, opts.Cache)
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return nil, opts.Ctx.Err()
+	}
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged.AddSet(o)
+	}
+	return merged.Triples(g.Dict()), nil
+}
+
+// FragmentSchemaParallel is FragmentParallel over SchemaRequests(h). Note
+// that SchemaRequests builds fresh shape values: callers wanting cache hits
+// across calls should compute the requests once and use FragmentParallel.
+func (x *Extractor) FragmentSchemaParallel(h *schema.Schema, opts ParallelOptions) ([]rdf.Triple, error) {
+	return x.FragmentParallel(SchemaRequests(h), opts)
+}
+
+// fragmentSerial is the one-worker path, run on the calling extractor so
+// its evaluator caches keep accumulating across calls.
+func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, nodes []rdfgraph.ID, opts ParallelOptions) ([]rdf.Triple, error) {
+	out := rdfgraph.NewIDTripleSet()
+	visited := make(map[VisitKey]struct{})
+	for i := range requests {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return nil, opts.Ctx.Err()
+		}
+		x.extractRange(requests[i], nnfs[i], nodes, out, visited, opts.Cache)
+	}
+	return out.Triples(x.ev.G.Dict()), nil
+}
+
+// extractRange accumulates the neighborhoods of a node range for one
+// request. Without a cache it shares out and visited across the whole range
+// (the fast path, identical to Fragment's inner loop). With a cache it
+// computes isolated per-node neighborhoods — the unit the cache stores —
+// while still sharing this extractor's conformance and path caches.
+func (x *Extractor) extractRange(request, nnf shape.Shape, nodes []rdfgraph.ID, out *rdfgraph.IDTripleSet, visited map[VisitKey]struct{}, cache *NeighborhoodCache) {
+	if cache == nil {
+		for _, v := range nodes {
+			x.collect(v, nnf, out, visited)
+		}
+		return
+	}
+	for _, v := range nodes {
+		if ts, ok := cache.Get(v, request); ok {
+			out.AddAll(ts)
+			continue
+		}
+		per := rdfgraph.NewIDTripleSet()
+		x.collect(v, nnf, per, make(map[VisitKey]struct{}))
+		ts := per.IDTriples()
+		cache.Put(v, request, ts)
+		out.AddSet(per)
+	}
+}

@@ -1,0 +1,425 @@
+// Package fragserver is the shape-fragment serving subsystem: an HTTP
+// service positioning shape fragments as a subgraph-retrieval interface
+// between Triple Pattern Fragments and full SPARQL endpoints (Section 7,
+// Figure 4 of the paper). A server loads one data graph and one schema at
+// startup, freezes the graph, and then serves:
+//
+//	GET /validate                — validation report (?full=1 for all results)
+//	GET /fragment                — Frag(G, H), the whole schema fragment
+//	GET /fragment?shape=<name>   — the fragment of one definition (φ ∧ τ)
+//	GET /node?iri=<t>[&shape=]   — the neighborhood B(v, G, φ) of one node
+//	GET /tpf?s=&p=&o=            — a triple pattern fragment
+//	GET /healthz, GET /stats     — liveness and serving metrics
+//
+// Production behaviors: per-request timeouts propagated through
+// context.Context into extraction, bounded in-flight concurrency (503 when
+// saturated), structured access logs, incremental N-Triples streaming, a
+// shared bounded LRU of per-(node, shape) neighborhoods, and parallel
+// fragment extraction via core.FragmentParallel.
+package fragserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/tpf"
+	"shaclfrag/internal/turtle"
+)
+
+// Config configures a Server. Graph and Schema are required; everything
+// else has serving-grade defaults.
+type Config struct {
+	Graph  *rdfgraph.Graph
+	Schema *schema.Schema
+
+	// Workers is the fan-out of parallel fragment extraction; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxInflight bounds concurrently served requests; excess requests get
+	// 503 with Retry-After. <= 0 means 64.
+	MaxInflight int
+	// RequestTimeout is the per-request compute budget; <= 0 means 30s.
+	RequestTimeout time.Duration
+	// CacheTriples is the neighborhood LRU budget in triples; 0 means one
+	// million, negative disables the cache.
+	CacheTriples int
+	// Logger receives structured access logs; nil means slog.Default().
+	Logger *slog.Logger
+}
+
+// Server serves shape fragments over HTTP. Create with New; the handler
+// tree is available via Handler for mounting, or use Serve for a managed
+// listener with graceful shutdown.
+type Server struct {
+	g       *rdfgraph.Graph
+	h       *schema.Schema
+	workers int
+	timeout time.Duration
+	log     *slog.Logger
+	cache   *core.NeighborhoodCache
+	sem     chan struct{}
+	pool    chan *core.Extractor
+
+	// requests holds one pointer-stable request shape φ ∧ τ per definition
+	// (in definition order): both the /fragment work list and the stable
+	// cache keys.
+	requests []shape.Shape
+
+	handler http.Handler
+	started time.Time
+}
+
+// New builds a server over g and h. The graph's dictionary is warmed with
+// every constant the schema can mention and then frozen: from that point on
+// the graph is immutable and shared lock-free by all request goroutines.
+func New(cfg Config) (*Server, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("fragserver: Config.Graph is required")
+	}
+	if cfg.Schema == nil {
+		return nil, errors.New("fragserver: Config.Schema is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxInflight := cfg.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	var cache *core.NeighborhoodCache
+	if cfg.CacheTriples >= 0 {
+		cache = core.NewNeighborhoodCache(cfg.CacheTriples)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+
+	warmDictionary(cfg.Graph, cfg.Schema)
+	cfg.Graph.Freeze()
+
+	s := &Server{
+		g:        cfg.Graph,
+		h:        cfg.Schema,
+		workers:  workers,
+		timeout:  timeout,
+		log:      logger,
+		cache:    cache,
+		sem:      make(chan struct{}, maxInflight),
+		pool:     make(chan *core.Extractor, maxInflight),
+		requests: core.SchemaRequests(cfg.Schema),
+		started:  time.Now(),
+	}
+	s.handler = s.withAccessLog(s.withLimit(s.withTimeout(s.routes())))
+	return s, nil
+}
+
+// warmDictionary interns every term validation or extraction could need to
+// resolve beyond the graph's own nodes — the hasValue constants of shapes
+// and targets (node targets name nodes that may not occur in the data).
+// Property IRIs need no warming: extraction looks them up read-only.
+func warmDictionary(g *rdfgraph.Graph, h *schema.Schema) {
+	for _, d := range h.Definitions() {
+		for _, sh := range []shape.Shape{d.Shape, d.Target} {
+			shape.Walk(sh, func(sub shape.Shape) {
+				if hv, ok := sub.(*shape.HasValue); ok {
+					g.TermID(hv.C)
+				}
+			})
+		}
+	}
+}
+
+// Handler returns the server's handler tree (routes plus timeout, limiter
+// and access-log middleware), for mounting under an http.Server or a test.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve serves on ln until ctx is cancelled, then shuts down gracefully,
+// draining in-flight requests for up to drain (0 means 10s). It returns nil
+// after a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "drain", drain.String())
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("fragserver: shutdown: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /validate", s.handleValidate)
+	mux.HandleFunc("GET /fragment", s.handleFragment)
+	mux.HandleFunc("GET /node", s.handleNode)
+	mux.HandleFunc("GET /tpf", s.handleTPF)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// acquire hands out a pooled extractor, creating one when the pool is dry
+// (the in-flight limiter bounds how many can exist at once). Pooled
+// extractors keep their evaluator memoization across requests, so repeated
+// validation and extraction against the frozen graph get cheaper over time.
+func (s *Server) acquire() *core.Extractor {
+	select {
+	case x := <-s.pool:
+		return x
+	default:
+		return core.NewExtractor(s.g, s.h)
+	}
+}
+
+func (s *Server) release(x *core.Extractor) {
+	select {
+	case s.pool <- x:
+	default:
+	}
+}
+
+// defIndex resolves a shape name parameter: exact IRI match first, then
+// unique suffix match (so S01 finds http://…/shapes#S01).
+func (s *Server) defIndex(name string) (int, bool) {
+	defs := s.h.Definitions()
+	for i, d := range defs {
+		if d.Name.Value == name {
+			return i, true
+		}
+	}
+	found, hit := -1, false
+	for i, d := range defs {
+		if strings.HasSuffix(d.Name.Value, name) {
+			if hit {
+				return -1, false // ambiguous suffix
+			}
+			found, hit = i, true
+		}
+	}
+	return found, hit
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	x := s.acquire()
+	defer s.release(x)
+	report := s.h.ValidateWith(x.Evaluator())
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "conforms: %v\nfocus nodes: %d\nviolations: %d\n",
+		report.Conforms, report.TargetedNodes, len(report.Violations()))
+	if r.URL.Query().Get("full") != "" {
+		for _, res := range report.Results {
+			status := "ok"
+			if !res.Conforms {
+				status = "VIOLATION"
+			}
+			fmt.Fprintf(w, "%s %s focus %s\n", status, res.ShapeName, res.Focus)
+		}
+	}
+}
+
+func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
+	requests := s.requests
+	if name := r.URL.Query().Get("shape"); name != "" {
+		i, ok := s.defIndex(name)
+		if !ok {
+			http.Error(w, "unknown or ambiguous shape "+name, http.StatusNotFound)
+			return
+		}
+		requests = s.requests[i : i+1]
+	}
+	x := s.acquire()
+	defer s.release(x)
+	triples, err := x.FragmentParallel(requests, core.ParallelOptions{
+		Workers: s.workers,
+		Cache:   s.cache,
+		Ctx:     r.Context(),
+	})
+	if err != nil {
+		httpTimeoutError(w, r, err)
+		return
+	}
+	s.streamNTriples(w, r, triples)
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	rawIRI := q.Get("iri")
+	if rawIRI == "" {
+		http.Error(w, "missing iri parameter", http.StatusBadRequest)
+		return
+	}
+	focus, err := parseTermParam(rawIRI)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// B(v, G, φ) for the named definition's shape, or for every definition
+	// when no shape is given. Definition shapes are pointer-stable, so they
+	// double as neighborhood cache keys.
+	var shapes []shape.Shape
+	if name := q.Get("shape"); name != "" {
+		i, ok := s.defIndex(name)
+		if !ok {
+			http.Error(w, "unknown or ambiguous shape "+name, http.StatusNotFound)
+			return
+		}
+		shapes = []shape.Shape{s.h.Definitions()[i].Shape}
+	} else {
+		for _, d := range s.h.Definitions() {
+			shapes = append(shapes, d.Shape)
+		}
+	}
+	id := s.g.LookupTerm(focus)
+	if id == rdfgraph.NoID {
+		// A term no triple mentions has empty neighborhoods for every
+		// shape; serve the empty fragment rather than 404 so clients can
+		// treat /node uniformly.
+		s.streamNTriples(w, r, nil)
+		return
+	}
+	x := s.acquire()
+	defer s.release(x)
+	out := rdfgraph.NewIDTripleSet()
+	for _, phi := range shapes {
+		if r.Context().Err() != nil {
+			httpTimeoutError(w, r, r.Context().Err())
+			return
+		}
+		out.AddAll(x.NeighborhoodIDsCached(s.cache, id, phi))
+	}
+	s.streamNTriples(w, r, out.Triples(s.g.Dict()))
+}
+
+func (s *Server) handleTPF(w http.ResponseWriter, r *http.Request) {
+	pattern, err := parseTPFPattern(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if phi, ok := pattern.RequestShape(); ok {
+		w.Header().Set("X-Request-Shape", phi.String())
+	}
+	s.streamNTriples(w, r, pattern.Eval(s.g))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "uptime: %s\ntriples: %d\nterms: %d\nshapes: %d\nworkers: %d\n",
+		time.Since(s.started).Round(time.Second), s.g.Len(), s.g.Dict().Len(), s.h.Len(), s.workers)
+	if s.cache != nil {
+		st := s.cache.Stats()
+		fmt.Fprintf(w, "cache: %d entries, %d triples, %d hits, %d misses\n",
+			st.Entries, st.Triples, st.Hits, st.Misses)
+	} else {
+		fmt.Fprintln(w, "cache: disabled")
+	}
+}
+
+// streamNTriples writes triples incrementally as application/n-triples,
+// aborting quietly if the request context ends mid-stream (client gone or
+// budget exceeded — headers are already out by then).
+func (s *Server) streamNTriples(w http.ResponseWriter, r *http.Request, triples []rdf.Triple) {
+	w.Header().Set("Content-Type", "application/n-triples")
+	w.Header().Set("X-Triple-Count", strconv.Itoa(len(triples)))
+	nw := turtle.NewNTriplesWriter(w)
+	ctx := r.Context()
+	for _, t := range triples {
+		if ctx.Err() != nil {
+			return
+		}
+		if nw.WriteTriple(t) != nil {
+			return
+		}
+	}
+	nw.Flush() //nolint:errcheck — nothing to do about a failed final write
+}
+
+// httpTimeoutError maps a context error to 503 (with Retry-After) when no
+// bytes have been written yet.
+func httpTimeoutError(w http.ResponseWriter, _ *http.Request, err error) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "request cancelled or timed out: "+err.Error(), http.StatusServiceUnavailable)
+}
+
+// parseTPFPattern builds a triple pattern from s=/p=/o= query parameters.
+// Empty positions and ?name positions are variables (repeating a name
+// imposes equality); everything else must parse as a term, and predicate
+// constants must be IRIs. Malformed input yields an error, never a panic.
+func parseTPFPattern(q map[string][]string) (tpf.Pattern, error) {
+	get := func(key string) string {
+		if vs := q[key]; len(vs) > 0 {
+			return vs[0]
+		}
+		return ""
+	}
+	pos := func(key string) (tpf.Pos, error) {
+		raw := get(key)
+		if raw == "" {
+			return tpf.V(key), nil // fresh variable named after the position
+		}
+		if strings.HasPrefix(raw, "?") {
+			name := raw[1:]
+			if name == "" {
+				return tpf.Pos{}, fmt.Errorf("%s=: variable needs a name after '?'", key)
+			}
+			return tpf.V(name), nil
+		}
+		t, err := parseTermParam(raw)
+		if err != nil {
+			return tpf.Pos{}, fmt.Errorf("%s=: %w", key, err)
+		}
+		return tpf.C(t), nil
+	}
+	var pattern tpf.Pattern
+	var err error
+	if pattern.S, err = pos("s"); err != nil {
+		return tpf.Pattern{}, err
+	}
+	if pattern.P, err = pos("p"); err != nil {
+		return tpf.Pattern{}, err
+	}
+	if pattern.O, err = pos("o"); err != nil {
+		return tpf.Pattern{}, err
+	}
+	if !pattern.P.IsVar() && !pattern.P.Term.IsIRI() {
+		return tpf.Pattern{}, errors.New("p=: predicate must be an IRI")
+	}
+	return pattern, nil
+}

@@ -4,6 +4,19 @@
 // a per-predicate edge list) so that the access patterns of shape
 // evaluation — forward steps, backward steps, and property scans — are all
 // constant-time per edge.
+//
+// # Concurrency
+//
+// A Graph is not safe for concurrent mutation, but it is immutable and safe
+// for any number of concurrent readers once construction is complete: every
+// read accessor (Objects, Subjects, HasIDs, EachTriple, Nodes, Triples,
+// Lookup, Term, …) only reads the index maps and the dictionary. Call
+// Freeze after loading to enforce this contract — a frozen graph panics on
+// Add/AddIDs and on interning a previously unseen term, turning would-be
+// data races into deterministic failures. Concurrent serving subsystems
+// (internal/fragserver, core.FragmentParallel) rely on this: they warm the
+// dictionary with every term they may need, freeze the graph, and then fan
+// readers out across goroutines without locking.
 package rdfgraph
 
 import (
@@ -23,6 +36,7 @@ const NoID ID = -1
 type Dict struct {
 	byTerm map[rdf.Term]ID
 	terms  []rdf.Term
+	frozen bool
 }
 
 // NewDict returns an empty dictionary.
@@ -30,10 +44,22 @@ func NewDict() *Dict {
 	return &Dict{byTerm: make(map[rdf.Term]ID)}
 }
 
-// Intern returns the ID for t, assigning a fresh one if needed.
+// Freeze makes the dictionary immutable: interning an already-present term
+// keeps working (it is a pure lookup), interning a new term panics. A
+// frozen dictionary is safe for concurrent readers.
+func (d *Dict) Freeze() { d.frozen = true }
+
+// Frozen reports whether the dictionary has been frozen.
+func (d *Dict) Frozen() bool { return d.frozen }
+
+// Intern returns the ID for t, assigning a fresh one if needed. Interning a
+// term absent from a frozen dictionary panics; see Freeze.
 func (d *Dict) Intern(t rdf.Term) ID {
 	if id, ok := d.byTerm[t]; ok {
 		return id
+	}
+	if d.frozen {
+		panic("rdfgraph: Intern of unseen term " + t.String() + " on frozen dictionary")
 	}
 	id := ID(len(d.terms))
 	d.byTerm[t] = id
@@ -60,10 +86,11 @@ type Edge struct {
 	S, O ID
 }
 
-// Graph is a mutable in-memory RDF graph. The zero value is not usable;
-// call New.
+// Graph is an in-memory RDF graph, mutable until frozen. The zero value is
+// not usable; call New.
 type Graph struct {
-	dict *Dict
+	dict   *Dict
+	frozen bool
 	// spo maps subject → predicate → object set.
 	spo map[ID]map[ID]map[ID]struct{}
 	// ops maps object → predicate → subject set.
@@ -95,6 +122,19 @@ func FromTriples(triples []rdf.Triple) *Graph {
 // Dict exposes the graph's term dictionary.
 func (g *Graph) Dict() *Dict { return g.dict }
 
+// Freeze marks the graph (and its dictionary) immutable. Subsequent Add or
+// AddIDs calls panic, as does interning a previously unseen term; all read
+// accessors remain valid and become safe for concurrent use from any number
+// of goroutines. Freezing is idempotent and cannot be undone (Clone yields
+// a fresh mutable copy).
+func (g *Graph) Freeze() {
+	g.frozen = true
+	g.dict.Freeze()
+}
+
+// Frozen reports whether the graph has been frozen.
+func (g *Graph) Frozen() bool { return g.frozen }
+
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int { return g.size }
 
@@ -109,6 +149,9 @@ func (g *Graph) Add(t rdf.Triple) bool {
 // AddIDs inserts a dictionary-encoded triple, reporting whether it was new.
 // The IDs must come from this graph's dictionary.
 func (g *Graph) AddIDs(s, p, o ID) bool {
+	if g.frozen {
+		panic("rdfgraph: AddIDs on frozen graph")
+	}
 	po, ok := g.spo[s]
 	if !ok {
 		po = make(map[ID]map[ID]struct{})
@@ -342,6 +385,24 @@ func (s *IDTripleSet) Len() int { return len(s.set) }
 func (s *IDTripleSet) Each(fn func(IDTriple)) {
 	for t := range s.set {
 		fn(t)
+	}
+}
+
+// IDTriples returns the contents as a slice, in unspecified order. The
+// neighborhood cache stores these raw encoded slices: they are an order of
+// magnitude smaller than decoded terms.
+func (s *IDTripleSet) IDTriples() []IDTriple {
+	out := make([]IDTriple, 0, len(s.set))
+	for t := range s.set {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AddAll inserts the given encoded triples.
+func (s *IDTripleSet) AddAll(ts []IDTriple) {
+	for _, t := range ts {
+		s.set[t] = struct{}{}
 	}
 }
 

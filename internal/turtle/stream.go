@@ -1,0 +1,77 @@
+package turtle
+
+import (
+	"io"
+
+	"shaclfrag/internal/rdf"
+)
+
+// ntFlushThreshold is the buffered-bytes level at which NTriplesWriter
+// forwards to the underlying writer. Large enough to amortize syscalls,
+// small enough that serving a million-triple fragment never materializes
+// more than a screenful of serialization in memory.
+const ntFlushThreshold = 32 << 10
+
+// NTriplesWriter serializes triples incrementally in canonical N-Triples
+// form, one statement per line, flushing to the underlying writer every
+// ~32 KiB. It is the streaming counterpart of FormatNTriples: output is
+// byte-identical for the same triple sequence, but memory use is bounded by
+// the flush threshold instead of the total serialization.
+//
+// Errors from the underlying writer are sticky: the first one is recorded,
+// subsequent WriteTriple calls become no-ops returning it, so a serving
+// loop may check the error once at Flush time.
+type NTriplesWriter struct {
+	w     io.Writer
+	buf   []byte
+	count int
+	err   error
+}
+
+// NewNTriplesWriter returns a writer streaming to w.
+func NewNTriplesWriter(w io.Writer) *NTriplesWriter {
+	return &NTriplesWriter{w: w, buf: make([]byte, 0, ntFlushThreshold+1024)}
+}
+
+// WriteTriple appends one statement, flushing if the buffer is full.
+func (nw *NTriplesWriter) WriteTriple(t rdf.Triple) error {
+	if nw.err != nil {
+		return nw.err
+	}
+	nw.buf = append(nw.buf, t.String()...)
+	nw.buf = append(nw.buf, " .\n"...)
+	nw.count++
+	if len(nw.buf) >= ntFlushThreshold {
+		return nw.Flush()
+	}
+	return nil
+}
+
+// WriteAll appends a triple slice, stopping at the first error.
+func (nw *NTriplesWriter) WriteAll(ts []rdf.Triple) error {
+	for _, t := range ts {
+		if err := nw.WriteTriple(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forwards any buffered bytes to the underlying writer.
+func (nw *NTriplesWriter) Flush() error {
+	if nw.err != nil {
+		return nw.err
+	}
+	if len(nw.buf) == 0 {
+		return nil
+	}
+	_, nw.err = nw.w.Write(nw.buf)
+	nw.buf = nw.buf[:0]
+	return nw.err
+}
+
+// Count returns the number of triples written so far.
+func (nw *NTriplesWriter) Count() int { return nw.count }
+
+// Err returns the sticky error, if any.
+func (nw *NTriplesWriter) Err() error { return nw.err }
