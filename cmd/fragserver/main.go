@@ -14,14 +14,25 @@
 // caches neighborhoods in a bounded LRU, extracts fragments in parallel,
 // logs structured access lines, and drains in-flight requests on SIGINT or
 // SIGTERM before exiting.
+//
+// Observability: /metrics (Prometheus text), /healthz, /readyz and /stats
+// are served on the main address; -debug-addr starts a second, unthrottled
+// listener with /debug/pprof/*, /debug/vars (expvar, including the metric
+// registry) and a /metrics mirror, so profiling and scraping keep working
+// while the main listener sheds load. docs/OPERATIONS.md is the operator
+// guide: every flag, endpoint and metric.
 package main
 
 import (
 	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +48,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8077", "listen address")
+	debugAddr := flag.String("debug-addr", "", "debug listen address for pprof/expvar/metrics (empty disables)")
 	dataPath := flag.String("data", "", "data graph (Turtle); empty serves a synthetic graph")
 	shapesPath := flag.String("shapes", "", "SHACL shapes graph (Turtle); empty uses the benchmark shapes")
 	individuals := flag.Int("individuals", 2000, "size of the synthetic graph when -data is empty")
@@ -46,14 +58,24 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request compute budget")
 	cacheTriples := flag.Int("cache", 1<<20, "neighborhood LRU budget in triples (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
-	jsonLogs := flag.Bool("json-logs", false, "emit access logs as JSON instead of text")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json (applies to access and lifecycle logs alike)")
+	jsonLogs := flag.Bool("json-logs", false, "deprecated alias for -log-format json")
 	flag.Parse()
 
-	logger := newLogger(*jsonLogs)
+	if *jsonLogs {
+		*logFormat = "json"
+	}
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		// The one message that cannot go through the structured logger is
+		// the one saying we could not build it.
+		fmt.Fprintln(os.Stderr, "fragserver:", err)
+		os.Exit(2)
+	}
+
 	g, h, err := load(*dataPath, *shapesPath, *individuals, *nshapes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fragserver:", err)
-		os.Exit(1)
+		fatal(logger, "loading graph and schema failed", err)
 	}
 
 	srv, err := fragserver.New(fragserver.Config{
@@ -66,32 +88,79 @@ func main() {
 		Logger:         logger,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fragserver:", err)
-		os.Exit(1)
+		fatal(logger, "building server failed", err)
 	}
+	srv.Metrics().PublishExpvar("fragserver")
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fragserver:", err)
-		os.Exit(1)
+		fatal(logger, "listening failed", err)
 	}
 	logger.Info("serving shape fragments",
 		"addr", ln.Addr().String(), "triples", g.Len(), "shapes", h.Len())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		shutdownDebug, err := serveDebug(*debugAddr, srv, logger)
+		if err != nil {
+			fatal(logger, "debug listener failed", err)
+		}
+		defer shutdownDebug()
+	}
+
 	if err := srv.Serve(ctx, ln, *drain); err != nil {
-		fmt.Fprintln(os.Stderr, "fragserver:", err)
-		os.Exit(1)
+		fatal(logger, "serving failed", err)
 	}
 	logger.Info("shutdown complete")
 }
 
-func newLogger(json bool) *slog.Logger {
-	if json {
-		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+// fatal routes a startup/shutdown failure through the same structured
+// logger as everything else, then exits nonzero.
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err.Error())
+	os.Exit(1)
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q: want text or json", format)
 	}
-	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// serveDebug starts the debug listener: pprof, expvar and a /metrics
+// mirror, deliberately outside the main listener's in-flight limiter and
+// request timeout so a saturated or wedged server can still be profiled
+// and scraped. Bind it to localhost or an operations network only — pprof
+// exposes heap contents. The returned function shuts the listener down.
+func serveDebug(addr string, srv *fragserver.Server, logger *slog.Logger) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", srv.Metrics().Handler())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug listener stopped", "err", err.Error())
+		}
+	}()
+	logger.Info("debug listener up", "addr", ln.Addr().String())
+	return func() { hs.Close() }, nil //nolint:errcheck — best-effort teardown
 }
 
 func load(dataPath, shapesPath string, individuals, nshapes int) (*rdfgraph.Graph, *schema.Schema, error) {

@@ -3,6 +3,7 @@ package core
 import (
 	"container/list"
 	"sync"
+	"unsafe"
 
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/shape"
@@ -22,14 +23,20 @@ import (
 // sizes vary by orders of magnitude; an empty neighborhood still costs one
 // unit so that negative results are bounded too.
 type NeighborhoodCache struct {
-	mu     sync.Mutex
-	budget int
-	size   int
-	ll     *list.List // front = most recently used
-	items  map[neighborhoodKey]*list.Element
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex
+	budget    int
+	size      int
+	ll        *list.List // front = most recently used
+	items     map[neighborhoodKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+	evicted   uint64 // triples removed by evictions, cumulative
 }
+
+// idTripleBytes is the in-memory size of one cached triple, used to
+// report the cache's triple budget in bytes for operators.
+const idTripleBytes = int(unsafe.Sizeof(rdfgraph.IDTriple{}))
 
 type neighborhoodKey struct {
 	node  rdfgraph.ID
@@ -101,22 +108,40 @@ func (c *NeighborhoodCache) Put(v rdfgraph.ID, phi shape.Shape, ts []rdfgraph.ID
 		c.ll.Remove(back)
 		delete(c.items, ev.key)
 		c.size -= entryCost(ev.triples)
+		c.evictions++
+		c.evicted += uint64(len(ev.triples))
 	}
 	c.items[key] = c.ll.PushFront(&neighborhoodEntry{key: key, triples: ts})
 	c.size += cost
 }
 
-// CacheStats is a snapshot of cache effectiveness counters.
+// CacheStats is a snapshot of cache effectiveness and occupancy
+// counters. Hits, Misses, Evictions and EvictedTriples are cumulative
+// since construction; Entries, Triples and Bytes describe current
+// occupancy (Bytes approximates resident triple storage as
+// Triples × sizeof(IDTriple), ignoring per-entry map and list overhead).
 type CacheStats struct {
-	Hits, Misses     uint64
-	Entries, Triples int
+	Hits, Misses   uint64
+	Evictions      uint64 // entries removed to make room
+	EvictedTriples uint64 // triples those entries held
+	Entries        int
+	Triples        int
+	Bytes          int
 }
 
 // Stats returns a consistent snapshot of the counters.
 func (c *NeighborhoodCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Triples: c.size}
+	return CacheStats{
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		EvictedTriples: c.evicted,
+		Entries:        c.ll.Len(),
+		Triples:        c.size,
+		Bytes:          c.size * idTripleBytes,
+	}
 }
 
 // Len returns the number of cached neighborhoods.

@@ -8,6 +8,30 @@
 // still conforms to φ in every G' with B(v,G,φ) ⊆ G' ⊆ G. For
 // non-conforming nodes the neighborhood is empty; the neighborhood for ¬φ
 // then provides why-not provenance (Remark 3.7).
+//
+// # Concurrency
+//
+// An Extractor is single-goroutine state (its evaluator and NNF caches
+// are unsynchronized); use one per goroutine. All extraction is strictly
+// read-only on the graph, so any number of extractors may share one
+// graph concurrently once it is frozen (rdfgraph.Graph.Freeze) — that is
+// the contract FragmentParallel builds on: it spawns one private
+// extractor per worker and unions their results, and internal/fragserver
+// pools extractors across requests. Extraction can emit sub-stage
+// timings into an obs.Tracer via ParallelOptions.Tracer; a shared
+// obs.Trace accepts concurrent observations.
+//
+// # Cache bounds
+//
+// NeighborhoodCache is the one shared-mutable structure here; it is
+// mutex-guarded and safe for concurrent use. Its bound is a triple
+// budget, not an entry count: entries cost max(1, len(triples)) units
+// and least-recently-used entries are evicted until a new entry fits, so
+// resident memory is O(budget) regardless of how skewed neighborhood
+// sizes are. Neighborhoods larger than the whole budget are returned but
+// never cached. Cached slices are shared with callers and must be
+// treated as immutable. Stats exposes hit/miss/eviction/occupancy
+// counters for the serving layer's metrics endpoint.
 package core
 
 import (

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"testing"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/obs"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+// TestCacheEvictionAccounting pins the new eviction and byte counters:
+// every eviction increments Evictions by one entry and EvictedTriples by
+// that entry's triple count, and Bytes tracks current occupancy.
+func TestCacheEvictionAccounting(t *testing.T) {
+	c := core.NewNeighborhoodCache(10)
+	phi := shape.TrueShape()
+	triples := func(node, n int) []rdfgraph.IDTriple {
+		out := make([]rdfgraph.IDTriple, n)
+		for i := range out {
+			out[i] = rdfgraph.IDTriple{S: rdfgraph.ID(node), P: rdfgraph.ID(i)}
+		}
+		return out
+	}
+	// Fill to exactly budget: 2 entries × 5 triples.
+	c.Put(1, phi, triples(1, 5))
+	c.Put(2, phi, triples(2, 5))
+	st := c.Stats()
+	if st.Evictions != 0 || st.EvictedTriples != 0 {
+		t.Fatalf("no evictions expected yet: %+v", st)
+	}
+	if st.Triples != 10 || st.Bytes != 10*12 {
+		t.Errorf("occupancy: got %d triples / %d bytes, want 10 / 120", st.Triples, st.Bytes)
+	}
+	// A 6-triple entry must evict both LRU entries (5+5 → room for 6).
+	c.Put(3, phi, triples(3, 6))
+	st = c.Stats()
+	if st.Evictions != 2 || st.EvictedTriples != 10 {
+		t.Errorf("evictions: got %d entries / %d triples, want 2 / 10", st.Evictions, st.EvictedTriples)
+	}
+	if st.Entries != 1 || st.Triples != 6 {
+		t.Errorf("post-eviction occupancy: %+v", st)
+	}
+	// Hit/miss bookkeeping stays coherent with the evictions.
+	if _, ok := c.Get(1, phi); ok {
+		t.Error("evicted entry still served")
+	}
+	if _, ok := c.Get(3, phi); !ok {
+		t.Error("surviving entry lost")
+	}
+	st = c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hit/miss after eviction round: got %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+// TestFragmentParallelTracer checks that extraction emits its nnf and
+// merge sub-stages into the provided tracer, for both the parallel and
+// the serial path, without changing the extracted fragment.
+func TestFragmentParallelTracer(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 60, Seed: 3})
+	h := schema.MustNew(datagen.BenchmarkShapes()[:4]...)
+	g.Freeze()
+	want, err := core.NewExtractor(g, h).FragmentParallel(
+		core.SchemaRequests(h), core.ParallelOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		tr := obs.NewTrace()
+		got, err := core.NewExtractor(g, h).FragmentParallel(
+			core.SchemaRequests(h), core.ParallelOptions{Workers: workers, Tracer: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("workers=%d: tracing changed the fragment (%d vs %d triples)",
+				workers, len(got), len(want))
+		}
+		stages := make(map[string]bool)
+		for _, s := range tr.Stages() {
+			stages[s.Name] = true
+		}
+		if !stages["nnf"] {
+			t.Errorf("workers=%d: nnf stage not traced (got %v)", workers, tr.Stages())
+		}
+		if workers > 1 && !stages["merge"] {
+			t.Errorf("workers=%d: merge stage not traced (got %v)", workers, tr.Stages())
+		}
+	}
+}

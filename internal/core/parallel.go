@@ -5,7 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"shaclfrag/internal/obs"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/schema"
@@ -27,6 +29,22 @@ type ParallelOptions struct {
 	// Ctx, when non-nil, aborts extraction between work units; the error
 	// returned is ctx.Err(). Used by the HTTP server for request timeouts.
 	Ctx context.Context
+	// Tracer, when non-nil, receives extraction sub-stage timings: "nnf"
+	// (request normalization) and "merge" (union of per-worker triple
+	// sets). The serving layer passes the per-request obs.Trace here so
+	// sub-stage attribution reaches Server-Timing headers, access logs
+	// and the stage-latency histograms.
+	Tracer obs.Tracer
+}
+
+// startStage begins timing one sub-stage against an optional tracer,
+// returning the stop function; a nil tracer costs one branch.
+func startStage(tr obs.Tracer, stage string) func() {
+	if tr == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() { tr.Observe(stage, time.Since(begin)) }
 }
 
 // FragmentParallel computes Frag(G, S) like Fragment, fanning the
@@ -46,10 +64,12 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 	}
 	// Normalize once on the calling extractor so every worker agrees on
 	// shape identity and none re-derives NNF.
+	stopNNF := startStage(opts.Tracer, "nnf")
 	nnfs := make([]shape.Shape, len(requests))
 	for i, phi := range requests {
 		nnfs[i] = x.nnf(phi)
 	}
+	stopNNF()
 	nodes := g.NodeIDs()
 	if workers == 1 || len(nodes) == 0 || len(requests) == 0 {
 		return x.fragmentSerial(requests, nnfs, nodes, opts)
@@ -100,6 +120,8 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 	if cancelled.Load() {
 		return nil, opts.Ctx.Err()
 	}
+	stopMerge := startStage(opts.Tracer, "merge")
+	defer stopMerge()
 	merged := outs[0]
 	for _, o := range outs[1:] {
 		merged.AddSet(o)

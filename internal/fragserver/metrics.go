@@ -1,0 +1,137 @@
+package fragserver
+
+import (
+	"strconv"
+	"time"
+
+	"shaclfrag/internal/obs"
+)
+
+// Metric names exported on /metrics. docs/OPERATIONS.md carries the
+// operator-facing catalog; keep the two in sync.
+const (
+	mRequestsTotal   = "fragserver_requests_total"
+	mRequestDuration = "fragserver_request_duration_seconds"
+	mStageDuration   = "fragserver_stage_duration_seconds"
+	mResponseBytes   = "fragserver_response_bytes_total"
+	mInflight        = "fragserver_inflight_requests"
+	mShedTotal       = "fragserver_requests_shed_total"
+)
+
+// routeNames are the label values for the route label; requests outside
+// the mux's route set are folded into "other" so label cardinality stays
+// bounded no matter what paths clients probe.
+var routeNames = []string{
+	"/validate", "/fragment", "/node", "/tpf",
+	"/healthz", "/readyz", "/stats", "/metrics",
+}
+
+func normalizeRoute(path string) string {
+	for _, r := range routeNames {
+		if path == r {
+			return r
+		}
+	}
+	return "other"
+}
+
+// stageNames is the closed set of per-request stages the handlers and
+// core emit; pre-creating their histograms keeps the hot path free of
+// registry lookups.
+var stageNames = []string{
+	"parse", "target", "extract", "serialize", "validate", "nnf", "merge",
+}
+
+// serverMetrics owns the server's registry plus the pre-created hot-path
+// instruments, so request handling touches only atomics (the lone
+// registry lookup left on the hot path is the on-demand (route, status)
+// counter, one short mutexed map probe).
+type serverMetrics struct {
+	reg       *obs.Registry
+	latency   map[string]*obs.Histogram // per route
+	respBytes map[string]*obs.Counter   // per route
+	stages    map[string]*obs.Histogram // per stage
+	inflight  *obs.Gauge
+	shed      *obs.Counter
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:       reg,
+		latency:   make(map[string]*obs.Histogram),
+		respBytes: make(map[string]*obs.Counter),
+		stages:    make(map[string]*obs.Histogram),
+	}
+	for _, route := range append([]string{"other"}, routeNames...) {
+		m.latency[route] = reg.Histogram(mRequestDuration,
+			"End-to-end request latency in seconds, by route.", nil, obs.L("route", route))
+		m.respBytes[route] = reg.Counter(mResponseBytes,
+			"Response body bytes written, by route.", obs.L("route", route))
+	}
+	for _, stage := range stageNames {
+		m.stages[stage] = reg.Histogram(mStageDuration,
+			"Per-request stage latency in seconds (parse, target, extract, serialize, validate, nnf, merge).",
+			nil, obs.L("stage", stage))
+	}
+	m.inflight = reg.Gauge(mInflight, "Requests currently being served.")
+	m.shed = reg.Counter(mShedTotal, "Requests rejected with 503 by the in-flight limiter.")
+
+	// Serving-state and workload gauges are sampled at scrape time from
+	// the server's own structures — no double bookkeeping.
+	reg.GaugeFunc("fragserver_uptime_seconds", "Seconds since the server was built.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("fragserver_ready", "1 while serving, 0 once draining has begun.",
+		func() float64 {
+			if s.draining.Load() {
+				return 0
+			}
+			return 1
+		})
+	reg.GaugeFunc("fragserver_graph_triples", "Triples in the served (frozen) data graph.",
+		func() float64 { return float64(s.g.Len()) })
+	reg.GaugeFunc("fragserver_dict_terms", "Interned terms in the graph dictionary.",
+		func() float64 { return float64(s.g.Dict().Len()) })
+	reg.GaugeFunc("fragserver_schema_shapes", "Shape definitions in the served schema.",
+		func() float64 { return float64(s.h.Len()) })
+	reg.GaugeFunc("fragserver_extraction_workers", "Parallel extraction worker count.",
+		func() float64 { return float64(s.workers) })
+
+	// Neighborhood-cache series exist only when the cache is enabled;
+	// absent series (rather than constant zeros) is how a scrape tells a
+	// disabled cache from an idle one.
+	if s.cache != nil {
+		reg.CounterFunc("fragserver_cache_hits_total", "Neighborhood cache hits.",
+			func() float64 { return float64(s.cache.Stats().Hits) })
+		reg.CounterFunc("fragserver_cache_misses_total", "Neighborhood cache misses.",
+			func() float64 { return float64(s.cache.Stats().Misses) })
+		reg.CounterFunc("fragserver_cache_evictions_total", "Neighborhood cache entries evicted to make room.",
+			func() float64 { return float64(s.cache.Stats().Evictions) })
+		reg.CounterFunc("fragserver_cache_evicted_triples_total", "Triples held by evicted entries.",
+			func() float64 { return float64(s.cache.Stats().EvictedTriples) })
+		reg.GaugeFunc("fragserver_cache_entries", "Neighborhoods currently cached.",
+			func() float64 { return float64(s.cache.Stats().Entries) })
+		reg.GaugeFunc("fragserver_cache_triples", "Triples currently cached.",
+			func() float64 { return float64(s.cache.Stats().Triples) })
+		reg.GaugeFunc("fragserver_cache_bytes", "Approximate bytes of cached triple storage.",
+			func() float64 { return float64(s.cache.Stats().Bytes) })
+	}
+	return m
+}
+
+// observe records the end-of-request rollup: the (route, status) counter,
+// the route latency histogram and byte counter, and every stage the
+// request's trace accumulated.
+func (m *serverMetrics) observe(route string, status int, bytes int64, dur time.Duration, tr *obs.Trace) {
+	m.reg.Counter(mRequestsTotal, "Requests served, by route and HTTP status.",
+		obs.L("route", route), obs.L("status", strconv.Itoa(status))).Inc()
+	m.latency[route].ObserveDuration(dur)
+	if bytes > 0 {
+		m.respBytes[route].Add(uint64(bytes))
+	}
+	for _, st := range tr.Stages() {
+		if h, ok := m.stages[st.Name]; ok {
+			h.ObserveDuration(st.Dur)
+		}
+	}
+}

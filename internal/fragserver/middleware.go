@@ -4,6 +4,8 @@ import (
 	"context"
 	"net/http"
 	"time"
+
+	"shaclfrag/internal/obs"
 )
 
 // withTimeout attaches the per-request compute budget to the request
@@ -21,14 +23,20 @@ func (s *Server) withTimeout(next http.Handler) http.Handler {
 
 // withLimit bounds in-flight requests. Extraction is CPU-bound, so queueing
 // beyond the limit only grows latency; shed load immediately instead and
-// let the client retry.
+// let the client retry. The in-flight gauge and shed counter live here so
+// their values describe exactly what the limiter sees.
 func (s *Server) withLimit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
+			s.metrics.inflight.Add(1)
+			defer func() {
+				s.metrics.inflight.Add(-1)
+				<-s.sem
+			}()
 			next.ServeHTTP(w, r)
 		default:
+			s.metrics.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 		}
@@ -65,23 +73,33 @@ func (sw *statusWriter) Flush() {
 	}
 }
 
-// withAccessLog emits one structured log line per request.
-func (s *Server) withAccessLog(next http.Handler) http.Handler {
+// withObs is the outermost middleware: it attaches a fresh per-request
+// obs.Trace to the context (handlers and core record stage timings into
+// it), then at end of request emits one structured access-log line with
+// the stage fields appended and rolls the request up into the metrics
+// registry. Sitting outside withLimit means shed requests are counted
+// and logged too.
+func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := obs.NewTrace()
+		r = r.WithContext(obs.NewContext(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
-		s.log.Info("request",
+		dur := time.Since(start)
+		s.metrics.observe(normalizeRoute(r.URL.Path), sw.status, sw.bytes, dur, tr)
+		args := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"query", r.URL.RawQuery,
 			"status", sw.status,
 			"bytes", sw.bytes,
-			"dur_ms", time.Since(start).Milliseconds(),
+			"dur_ms", dur.Milliseconds(),
 			"remote", r.RemoteAddr,
-		)
+		}
+		s.log.Info("request", append(args, tr.LogArgs()...)...)
 	})
 }

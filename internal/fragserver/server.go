@@ -9,13 +9,34 @@
 //	GET /fragment?shape=<name>   — the fragment of one definition (φ ∧ τ)
 //	GET /node?iri=<t>[&shape=]   — the neighborhood B(v, G, φ) of one node
 //	GET /tpf?s=&p=&o=            — a triple pattern fragment
-//	GET /healthz, GET /stats     — liveness and serving metrics
+//	GET /healthz, GET /readyz    — process liveness; readiness (503 on drain)
+//	GET /stats, GET /metrics     — human-readable stats; Prometheus text
 //
 // Production behaviors: per-request timeouts propagated through
 // context.Context into extraction, bounded in-flight concurrency (503 when
 // saturated), structured access logs, incremental N-Triples streaming, a
 // shared bounded LRU of per-(node, shape) neighborhoods, and parallel
 // fragment extraction via core.FragmentParallel.
+//
+// # Observability
+//
+// Every request runs under an obs.Trace carried in the request context:
+// handlers record the parse → target → extract → serialize stages (and
+// core.FragmentParallel contributes its nnf/merge sub-stages through
+// ParallelOptions.Tracer). Completed stages are surfaced three ways — as
+// a Server-Timing response header (written when streaming begins, so the
+// serialize stage itself appears only in logs and metrics), as *_ms
+// fields on the structured access-log line, and as observations into the
+// fragserver_stage_duration_seconds histogram. The full metric catalog
+// (request counters and latency histograms by route, cache
+// hits/misses/evictions/bytes, load-shedding, workload gauges) is served
+// in Prometheus text format on /metrics and documented for operators in
+// docs/OPERATIONS.md; Metrics exposes the underlying obs.Registry so
+// cmd/fragserver can also publish it via expvar and mount it on an
+// unthrottled debug listener.
+//
+// The per-server obs.Registry makes instrumentation test-friendly: two
+// Servers in one process never share counters.
 package fragserver
 
 import (
@@ -28,9 +49,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"shaclfrag/internal/core"
+	"shaclfrag/internal/obs"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/schema"
@@ -78,8 +101,10 @@ type Server struct {
 	// cache keys.
 	requests []shape.Shape
 
-	handler http.Handler
-	started time.Time
+	handler  http.Handler
+	started  time.Time
+	metrics  *serverMetrics
+	draining atomic.Bool // set when graceful shutdown begins; read by /readyz
 }
 
 // New builds a server over g and h. The graph's dictionary is warmed with
@@ -128,7 +153,8 @@ func New(cfg Config) (*Server, error) {
 		requests: core.SchemaRequests(cfg.Schema),
 		started:  time.Now(),
 	}
-	s.handler = s.withAccessLog(s.withLimit(s.withTimeout(s.routes())))
+	s.metrics = newServerMetrics(s)
+	s.handler = s.withObs(s.withLimit(s.withTimeout(s.routes())))
 	return s, nil
 }
 
@@ -149,8 +175,19 @@ func warmDictionary(g *rdfgraph.Graph, h *schema.Schema) {
 }
 
 // Handler returns the server's handler tree (routes plus timeout, limiter
-// and access-log middleware), for mounting under an http.Server or a test.
+// and observability middleware), for mounting under an http.Server or a
+// test.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's metric registry — the same one /metrics
+// renders. cmd/fragserver publishes it via expvar and mounts it on the
+// debug listener so scrapes keep working while the main listener sheds
+// load.
+func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// Draining reports whether graceful shutdown has begun; /readyz turns 503
+// at that point so load balancers stop routing new work here.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Serve serves on ln until ctx is cancelled, then shuts down gracefully,
 // draining in-flight requests for up to drain (0 means 10s). It returns nil
@@ -170,6 +207,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 		return err
 	case <-ctx.Done():
 	}
+	s.draining.Store(true)
 	s.log.Info("shutting down", "drain", drain.String())
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
@@ -186,7 +224,9 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /node", s.handleNode)
 	mux.HandleFunc("GET /tpf", s.handleTPF)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	return mux
 }
 
@@ -232,9 +272,12 @@ func (s *Server) defIndex(name string) (int, bool) {
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
 	x := s.acquire()
 	defer s.release(x)
+	stop := tr.Start("validate")
 	report := s.h.ValidateWith(x.Evaluator())
+	stop()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "conforms: %v\nfocus nodes: %d\nviolations: %d\n",
 		report.Conforms, report.TargetedNodes, len(report.Violations()))
@@ -250,22 +293,29 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	stopTarget := tr.Start("target")
 	requests := s.requests
 	if name := r.URL.Query().Get("shape"); name != "" {
 		i, ok := s.defIndex(name)
 		if !ok {
+			stopTarget()
 			http.Error(w, "unknown or ambiguous shape "+name, http.StatusNotFound)
 			return
 		}
 		requests = s.requests[i : i+1]
 	}
+	stopTarget()
 	x := s.acquire()
 	defer s.release(x)
+	stopExtract := tr.Start("extract")
 	triples, err := x.FragmentParallel(requests, core.ParallelOptions{
 		Workers: s.workers,
 		Cache:   s.cache,
 		Ctx:     r.Context(),
+		Tracer:  tr,
 	})
+	stopExtract()
 	if err != nil {
 		httpTimeoutError(w, r, err)
 		return
@@ -274,13 +324,16 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
 	q := r.URL.Query()
 	rawIRI := q.Get("iri")
 	if rawIRI == "" {
 		http.Error(w, "missing iri parameter", http.StatusBadRequest)
 		return
 	}
+	stopParse := tr.Start("parse")
 	focus, err := parseTermParam(rawIRI)
+	stopParse()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -288,10 +341,12 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	// B(v, G, φ) for the named definition's shape, or for every definition
 	// when no shape is given. Definition shapes are pointer-stable, so they
 	// double as neighborhood cache keys.
+	stopTarget := tr.Start("target")
 	var shapes []shape.Shape
 	if name := q.Get("shape"); name != "" {
 		i, ok := s.defIndex(name)
 		if !ok {
+			stopTarget()
 			http.Error(w, "unknown or ambiguous shape "+name, http.StatusNotFound)
 			return
 		}
@@ -302,6 +357,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	id := s.g.LookupTerm(focus)
+	stopTarget()
 	if id == rdfgraph.NoID {
 		// A term no triple mentions has empty neighborhoods for every
 		// shape; serve the empty fragment rather than 404 so clients can
@@ -311,19 +367,26 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	}
 	x := s.acquire()
 	defer s.release(x)
+	stopExtract := tr.Start("extract")
 	out := rdfgraph.NewIDTripleSet()
 	for _, phi := range shapes {
 		if r.Context().Err() != nil {
+			stopExtract()
 			httpTimeoutError(w, r, r.Context().Err())
 			return
 		}
 		out.AddAll(x.NeighborhoodIDsCached(s.cache, id, phi))
 	}
-	s.streamNTriples(w, r, out.Triples(s.g.Dict()))
+	triples := out.Triples(s.g.Dict())
+	stopExtract()
+	s.streamNTriples(w, r, triples)
 }
 
 func (s *Server) handleTPF(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	stopParse := tr.Start("parse")
 	pattern, err := parseTPFPattern(r.URL.Query())
+	stopParse()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -331,12 +394,28 @@ func (s *Server) handleTPF(w http.ResponseWriter, r *http.Request) {
 	if phi, ok := pattern.RequestShape(); ok {
 		w.Header().Set("X-Request-Shape", phi.String())
 	}
-	s.streamNTriples(w, r, pattern.Eval(s.g))
+	stopExtract := tr.Start("extract")
+	triples := pattern.Eval(s.g)
+	stopExtract()
+	s.streamNTriples(w, r, triples)
 }
 
+// handleHealth is process liveness: it answers ok for as long as the
+// process can serve HTTP at all, including while draining.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is readiness: 200 while accepting new work, 503 once
+// graceful shutdown has begun so load balancers drain this instance.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -345,8 +424,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		time.Since(s.started).Round(time.Second), s.g.Len(), s.g.Dict().Len(), s.h.Len(), s.workers)
 	if s.cache != nil {
 		st := s.cache.Stats()
-		fmt.Fprintf(w, "cache: %d entries, %d triples, %d hits, %d misses\n",
-			st.Entries, st.Triples, st.Hits, st.Misses)
+		fmt.Fprintf(w, "cache: %d entries, %d triples (~%d bytes), %d hits, %d misses, %d evictions (%d triples)\n",
+			st.Entries, st.Triples, st.Bytes, st.Hits, st.Misses, st.Evictions, st.EvictedTriples)
 	} else {
 		fmt.Fprintln(w, "cache: disabled")
 	}
@@ -354,8 +433,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 // streamNTriples writes triples incrementally as application/n-triples,
 // aborting quietly if the request context ends mid-stream (client gone or
-// budget exceeded — headers are already out by then).
+// budget exceeded — headers are already out by then). The stages recorded
+// so far (parse, target, extract, …) go out as a Server-Timing header;
+// the serialize stage itself necessarily post-dates the headers, so it
+// shows up only in the access log and the stage histogram.
 func (s *Server) streamNTriples(w http.ResponseWriter, r *http.Request, triples []rdf.Triple) {
+	tr := obs.FromContext(r.Context())
+	if st := tr.ServerTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	defer tr.Start("serialize")()
 	w.Header().Set("Content-Type", "application/n-triples")
 	w.Header().Set("X-Triple-Count", strconv.Itoa(len(triples)))
 	nw := turtle.NewNTriplesWriter(w)

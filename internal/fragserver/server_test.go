@@ -157,9 +157,9 @@ func TestHandleNode(t *testing.T) {
 		path string
 		want int
 	}{
-		{"/node", http.StatusBadRequest},                                          // missing iri
+		{"/node", http.StatusBadRequest},                                                // missing iri
 		{"/node?iri=" + url.QueryEscape("<http://unterminated"), http.StatusBadRequest}, // malformed
-		{"/node?iri=" + url.QueryEscape("no-scheme-here"), http.StatusBadRequest}, // not an IRI
+		{"/node?iri=" + url.QueryEscape("no-scheme-here"), http.StatusBadRequest},       // not an IRI
 		{"/node?iri=" + url.QueryEscape(focus) + "&shape=Nope", http.StatusNotFound},
 	} {
 		if resp, _ := get(t, ts, tc.path); resp.StatusCode != tc.want {

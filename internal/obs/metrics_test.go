@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one counter from many goroutines; run
+// under -race (make race) this doubles as the data-race proof for the
+// atomic metric types.
+func TestCounterConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 5000
+	var c Counter
+	var g Gauge
+	h := NewHistogram([]float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Errorf("gauge = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := h.Sum(); got != goroutines*perG {
+		t.Errorf("histogram sum = %g, want %d", got, goroutines*perG)
+	}
+}
+
+// TestHistogramBounds pins the bucket boundary semantics: le is an
+// inclusive upper bound, values beyond the last bound land in +Inf only.
+func TestHistogramBounds(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{
+		0.05, // < first bound        → bucket 0
+		0.1,  // == first bound       → bucket 0 (inclusive)
+		0.2,  // between bounds       → bucket 1
+		1,    // == second bound      → bucket 1
+		10,   // == last bound        → bucket 2
+		11,   // beyond last bound    → +Inf only
+	} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 4, 5, 6} // cumulative per le=0.1, 1, 10, +Inf
+	got := h.Cumulative()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cumulative[%d] = %d, want %d (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	const wantSum = 0.05 + 0.1 + 0.2 + 1 + 10 + 11
+	if diff := h.Sum() - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 2})
+	h.ObserveDuration(time.Second)
+	if got := h.Cumulative(); got[0] != 0 || got[1] != 1 {
+		t.Errorf("1s observation landed wrong: %v", got)
+	}
+}
+
+// TestRegistryGolden renders a registry with deterministic values and
+// compares the whole Prometheus text output byte for byte.
+func TestRegistryGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", L("route", "/fragment"), L("status", "200")).Add(3)
+	r.Counter("app_requests_total", "Requests served.", L("route", "/node"), L("status", "404")).Inc()
+	r.Gauge("app_inflight", "Requests in flight.").Set(2)
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 42.5 })
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/fragment",status="200"} 3
+app_requests_total{route="/node",status="404"} 1
+# HELP app_inflight Requests in flight.
+# TYPE app_inflight gauge
+app_inflight 2
+# HELP app_uptime_seconds Uptime.
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 42.5
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.01"} 1
+app_latency_seconds_bucket{le="0.1"} 3
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 5.105
+app_latency_seconds_count 4
+`
+	if b.String() != want {
+		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestRegistryIdempotentAndTyped(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.")
+	b := r.Counter("x_total", "X.")
+	if a != b {
+		t.Error("same (name, labels) must return the same counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("aliased counters must share state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "X.")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "Esc.", L("q", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "H.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Errorf("handler body missing metric:\n%s", rec.Body.String())
+	}
+}
+
+// TestPublishExpvar publishes two registries under one name: the second
+// must win without panicking (expvar itself forbids double Publish).
+func TestPublishExpvar(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("gen_total", "G.").Inc()
+	r1.PublishExpvar("obs_test_registry")
+	r2 := NewRegistry()
+	r2.Counter("gen_total", "G.").Add(7)
+	r2.PublishExpvar("obs_test_registry")
+
+	v := expvar.Get("obs_test_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value is not JSON: %v", err)
+	}
+	if got, ok := snap["gen_total"].(float64); !ok || got != 7 {
+		t.Errorf("expvar gen_total = %v, want 7 (latest registry must win)", snap["gen_total"])
+	}
+}

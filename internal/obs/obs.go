@@ -1,0 +1,32 @@
+// Package obs is the stdlib-only observability layer of the serving
+// stack: atomic counters and gauges, fixed-bucket latency histograms, a
+// labeled metric Registry that renders the Prometheus text exposition
+// format and publishes itself through expvar, and a lightweight
+// per-request Trace that records named stage durations (parse → target →
+// extract → serialize) for Server-Timing headers and structured log
+// fields.
+//
+// The package exists so that performance claims about fragment serving
+// are measured by the server itself rather than by ad-hoc external
+// benchmarks: internal/fragserver threads a Registry and per-request
+// Traces through its handler chain, and internal/core emits extraction
+// sub-stage timings into the same Trace via the Tracer interface.
+//
+// # Concurrency
+//
+// Every metric type is safe for concurrent use without external locking:
+// Counter, Gauge and Histogram update via sync/atomic, and the Registry
+// guards its name table with a mutex while reads of registered metrics
+// are lock-free. A Trace serializes its own stage list internally, so one
+// request's handler and the worker goroutines it fans out may observe
+// stages into the same Trace concurrently. Rendering (WritePrometheus,
+// Snapshot, ServerTiming) takes point-in-time snapshots and may run while
+// updates continue.
+//
+// # Costs
+//
+// A counter increment is one atomic add; a histogram observation is two
+// atomic adds plus a branchless bucket search over a small fixed bound
+// slice. Nothing allocates on the hot path, so instrumented serving code
+// can leave metrics enabled unconditionally.
+package obs

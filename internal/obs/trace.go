@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer receives named stage durations. internal/core emits extraction
+// sub-stages through this interface so it needs no knowledge of HTTP,
+// headers, or logging; a nil *Trace is a valid no-op Tracer, so call
+// sites never branch on instrumentation being present.
+type Tracer interface {
+	Observe(stage string, d time.Duration)
+}
+
+// Stage is one named timing within a Trace.
+type Stage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// Trace records the stage timings of one request in observation order.
+// Create one per request (fragserver's observability middleware does),
+// pass it down via NewContext, and render it as a Server-Timing header or
+// structured log fields at the end. A Trace is safe for concurrent
+// Observe calls; repeated observations of the same stage name accumulate
+// into one entry, which is what parallel workers contributing to the same
+// logical stage want.
+type Trace struct {
+	mu     sync.Mutex
+	stages []Stage
+	index  map[string]int
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{index: make(map[string]int)}
+}
+
+// Observe adds d to the named stage, creating it on first observation.
+// Observe on a nil Trace is a no-op.
+func (t *Trace) Observe(stage string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i, ok := t.index[stage]; ok {
+		t.stages[i].Dur += d
+		return
+	}
+	t.index[stage] = len(t.stages)
+	t.stages = append(t.stages, Stage{Name: stage, Dur: d})
+}
+
+// Start begins timing the named stage and returns the function that
+// stops it: `defer tr.Start("extract")()` brackets a whole function,
+// while assigning the stop to a variable brackets a region. Start on a
+// nil Trace returns a no-op stop.
+func (t *Trace) Start(stage string) func() {
+	if t == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() { t.Observe(stage, time.Since(begin)) }
+}
+
+// Stages returns a copy of the recorded stages in first-observation order.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Stage(nil), t.stages...)
+}
+
+// ServerTiming renders the trace as a Server-Timing header value
+// (RFC-style `name;dur=millis` items, comma-separated), e.g.
+//
+//	parse;dur=0.11, extract;dur=41.52, serialize;dur=3.90
+//
+// Returns "" for an empty or nil trace, so callers can skip the header.
+func (t *Trace) ServerTiming() string {
+	stages := t.Stages()
+	if len(stages) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, s := range stages {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s;dur=%.2f", s.Name, float64(s.Dur)/float64(time.Millisecond))
+	}
+	return b.String()
+}
+
+// LogArgs renders the trace as alternating key/value pairs for slog
+// (`<stage>_ms` keys, millisecond float values), appendable to an access
+// log line's argument list.
+func (t *Trace) LogArgs() []any {
+	stages := t.Stages()
+	out := make([]any, 0, 2*len(stages))
+	for _, s := range stages {
+		out = append(out, s.Name+"_ms", float64(s.Dur)/float64(time.Millisecond))
+	}
+	return out
+}
+
+type traceCtxKey struct{}
+
+// NewContext returns ctx carrying tr.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// FromContext returns the Trace carried by ctx, or nil — and since a nil
+// Trace's methods are no-ops, the result is usable unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceAccumulation(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe("extract", 10*time.Millisecond)
+	tr.Observe("parse", 1*time.Millisecond)
+	tr.Observe("extract", 5*time.Millisecond) // same stage accumulates
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2: %v", len(stages), stages)
+	}
+	if stages[0].Name != "extract" || stages[0].Dur != 15*time.Millisecond {
+		t.Errorf("stage 0 = %+v, want extract/15ms (first-observation order)", stages[0])
+	}
+	if stages[1].Name != "parse" || stages[1].Dur != time.Millisecond {
+		t.Errorf("stage 1 = %+v, want parse/1ms", stages[1])
+	}
+}
+
+func TestTraceServerTiming(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe("parse", 110*time.Microsecond)
+	tr.Observe("extract", 41520*time.Microsecond)
+	if got, want := tr.ServerTiming(), "parse;dur=0.11, extract;dur=41.52"; got != want {
+		t.Errorf("ServerTiming() = %q, want %q", got, want)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Observe("x", time.Second) // must not panic
+	tr.Start("y")()
+	if tr.Stages() != nil {
+		t.Error("nil trace must have no stages")
+	}
+	if tr.ServerTiming() != "" {
+		t.Error("nil trace must render empty Server-Timing")
+	}
+	// And a Tracer interface holding a nil *Trace keeps working too —
+	// this is the contract core relies on.
+	var tracer Tracer = tr
+	tracer.Observe("z", time.Second)
+}
+
+func TestTraceStart(t *testing.T) {
+	tr := NewTrace()
+	stop := tr.Start("work")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	stages := tr.Stages()
+	if len(stages) != 1 || stages[0].Dur <= 0 {
+		t.Errorf("Start/stop recorded %v", stages)
+	}
+}
+
+func TestTraceLogArgs(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe("serialize", 2500*time.Microsecond)
+	args := tr.LogArgs()
+	if len(args) != 2 || args[0] != "serialize_ms" || args[1].(float64) != 2.5 {
+		t.Errorf("LogArgs() = %v", args)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context must yield nil trace")
+	}
+	tr := NewTrace()
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Error("trace lost in context round-trip")
+	}
+}
+
+// TestTraceConcurrent verifies concurrent Observe calls are safe (teeth
+// under -race) and that totals add up.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.Observe("extract", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	stages := tr.Stages()
+	if len(stages) != 1 || stages[0].Dur != 8000*time.Microsecond {
+		t.Errorf("concurrent accumulation = %v, want extract/8ms", stages)
+	}
+	if !strings.HasPrefix(tr.ServerTiming(), "extract;dur=8") {
+		t.Errorf("ServerTiming() = %q", tr.ServerTiming())
+	}
+}

@@ -17,6 +17,12 @@
 // (internal/fragserver, core.FragmentParallel) rely on this: they warm the
 // dictionary with every term they may need, freeze the graph, and then fan
 // readers out across goroutines without locking.
+//
+// Dictionary-encoded triples (IDTriple, 12 bytes each) are also the
+// currency of the serving stack's data structures: IDTripleSet
+// accumulates extraction results without term churn, and
+// core.NeighborhoodCache stores neighborhoods in encoded form, which is
+// what makes its triple-denominated memory bound meaningful.
 package rdfgraph
 
 import (
