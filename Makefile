@@ -42,7 +42,11 @@ bench:
 bench-parallel:
 	$(GO) test -bench FragmentParallel -benchmem -run NONE .
 
-check: build vet test race
+# Full CI gate: gofmt, vet, build, race tests on the serving-path
+# packages, the whole test suite, and `shaclfrag lint` over examples/
+# (clean schemas silent, examples/lint/ corpus flagged).
+check:
+	sh scripts/check.sh
 
 clean:
 	$(GO) clean ./...

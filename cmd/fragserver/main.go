@@ -59,6 +59,7 @@ func main() {
 	cacheTriples := flag.Int("cache", 1<<20, "neighborhood LRU budget in triples (negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json (applies to access and lifecycle logs alike)")
+	allowLintErrors := flag.Bool("allow-lint-errors", false, "serve schemas that shapelint flags with error-severity findings")
 	jsonLogs := flag.Bool("json-logs", false, "deprecated alias for -log-format json")
 	flag.Parse()
 
@@ -79,13 +80,14 @@ func main() {
 	}
 
 	srv, err := fragserver.New(fragserver.Config{
-		Graph:          g,
-		Schema:         h,
-		Workers:        *workers,
-		MaxInflight:    *maxInflight,
-		RequestTimeout: *timeout,
-		CacheTriples:   *cacheTriples,
-		Logger:         logger,
+		Graph:           g,
+		Schema:          h,
+		Workers:         *workers,
+		MaxInflight:     *maxInflight,
+		RequestTimeout:  *timeout,
+		CacheTriples:    *cacheTriples,
+		Logger:          logger,
+		AllowLintErrors: *allowLintErrors,
 	})
 	if err != nil {
 		fatal(logger, "building server failed", err)

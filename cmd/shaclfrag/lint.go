@@ -1,0 +1,55 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/shapelint"
+)
+
+// cmdLint statically analyzes one or more SHACL shapes graphs and prints
+// the linter's findings. Exit status is 1 if any file has error-severity
+// findings, 0 otherwise (warnings alone do not fail the run).
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	shapesPath := fs.String("shapes", "", "shapes graph (Turtle); positional paths also accepted")
+	quiet := fs.Bool("q", false, "print only per-file summary lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if *shapesPath != "" {
+		files = append([]string{*shapesPath}, files...)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("need -shapes or at least one shapes-graph path")
+	}
+	failed := false
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		_, diags, err := shaclsyn.LintSource(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if !*quiet {
+			for _, d := range diags {
+				fmt.Printf("%s: %s\n", path, d)
+			}
+		}
+		nErr := len(shapelint.Errors(diags))
+		nWarn := shapelint.Count(diags, shapelint.Warning)
+		fmt.Printf("%s: %d error(s), %d warning(s)\n", path, nErr, nWarn)
+		if nErr > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	return nil
+}

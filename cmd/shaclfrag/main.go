@@ -9,6 +9,7 @@
 //	shaclfrag neighborhood -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
 //	shaclfrag whynot       -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
 //	shaclfrag translate    -shapes shapes.ttl [-shape <name>]
+//	shaclfrag lint         shapes.ttl [more.ttl ...]
 //	shaclfrag tpf          -data data.ttl -pattern '?x <http://x/p> ?y'
 package main
 
@@ -41,6 +42,8 @@ func main() {
 		err = cmdNeighborhood(os.Args[2:], true)
 	case "translate":
 		err = cmdTranslate(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	case "tpf":
 		err = cmdTPF(os.Args[2:])
 	case "-h", "--help", "help":
@@ -65,6 +68,7 @@ commands:
   neighborhood  extract B(v, G, φ) for one focus node
   whynot        extract the why-not provenance B(v, G, ¬φ)
   translate     render the SPARQL translation of the shapes
+  lint          statically analyze shapes graphs for contradictions and dead shapes
   tpf           evaluate a triple pattern fragment and its request shape`)
 }
 

@@ -147,3 +147,88 @@ func TestParsePatternUnit(t *testing.T) {
 		t.Error("unparsable component must fail")
 	}
 }
+
+func TestCLILint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	broken := filepath.Join(dir, "broken.ttl")
+	if err := os.WriteFile(broken, []byte(`
+@prefix sh: <http://www.w3.org/ns/shacl#> .
+@prefix ex: <http://x/> .
+ex:BadShape a sh:NodeShape ;
+  sh:targetClass ex:Thing ;
+  sh:property [ sh:path ex:p ; sh:minCount 2 ; sh:maxCount 1 ] .
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, clean := writeInputs(t)
+
+	run := func(wantExit int, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("%v: exit %d, want %d\n%s", args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	// A clean schema: no findings, zero summary, exit 0.
+	out := run(0, "lint", clean)
+	if !strings.Contains(out, "0 error(s), 0 warning(s)") {
+		t.Errorf("clean lint output: %s", out)
+	}
+
+	// A broken schema: SL-coded findings and exit 1.
+	out = run(1, "lint", broken)
+	if !strings.Contains(out, "SL003") || !strings.Contains(out, "SL001") {
+		t.Errorf("broken lint output should carry SL-codes: %s", out)
+	}
+
+	// -q prints summaries only; errors still fail the run.
+	out = run(1, "lint", "-q", broken)
+	if strings.Contains(out, "SL003") || !strings.Contains(out, "error(s)") {
+		t.Errorf("-q output: %s", out)
+	}
+
+	// Multiple files: one bad file fails the whole run, every file gets a
+	// summary line. The -shapes flag form is accepted too.
+	out = run(1, "lint", "-shapes", clean, broken)
+	if strings.Count(out, "error(s)") != 2 {
+		t.Errorf("per-file summaries missing: %s", out)
+	}
+
+	// No inputs or unreadable inputs are usage/IO errors.
+	run(1, "lint")
+	run(1, "lint", filepath.Join(dir, "nope.ttl"))
+
+	// The committed corpus: every broken example fails, every clean
+	// example passes — the CLI half of the golden tests.
+	lintDir := filepath.Join("..", "..", "examples", "lint")
+	ttl, err := filepath.Glob(filepath.Join(lintDir, "*.ttl"))
+	if err != nil || len(ttl) == 0 {
+		t.Fatalf("corpus glob: %v (%d files)", err, len(ttl))
+	}
+	for _, f := range ttl {
+		out, _ := exec.Command(bin, "lint", f).CombinedOutput()
+		if !strings.Contains(string(out), "SL0") {
+			t.Errorf("%s: no SL-coded findings:\n%s", f, out)
+		}
+	}
+	clean2, err := filepath.Glob(filepath.Join("..", "..", "examples", "shapes", "*.ttl"))
+	if err != nil || len(clean2) == 0 {
+		t.Fatalf("clean glob: %v (%d files)", err, len(clean2))
+	}
+	args := append([]string{"lint"}, clean2...)
+	if out, err := exec.Command(bin, args...).CombinedOutput(); err != nil || strings.Contains(string(out), "SL0") {
+		t.Errorf("clean examples must lint silent and exit 0: %v\n%s", err, out)
+	}
+}

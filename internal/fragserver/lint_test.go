@@ -1,0 +1,102 @@
+package fragserver
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/shapelint"
+)
+
+// brokenSchema has one unsatisfiable shape (min 3 ∧ max 1 on one path) —
+// a hard lint error — plus one clean shape.
+func brokenSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	p := paths.P(datagen.PropRating)
+	return schema.MustNew(
+		schema.Definition{
+			Name: rdf.NewIRI(datagen.NS + "shape/Broken"),
+			Shape: shape.AndOf(
+				shape.Min(3, p, shape.TrueShape()),
+				shape.Max(1, p, shape.TrueShape()),
+			),
+			Target: schema.TargetClass(datagen.ClassHotel),
+		},
+		schema.Definition{
+			Name:   rdf.NewIRI(datagen.NS + "shape/Fine"),
+			Shape:  shape.Min(1, paths.P(datagen.PropName), shape.TrueShape()),
+			Target: schema.TargetClass(datagen.ClassHotel),
+		},
+	)
+}
+
+func TestNewRefusesHardErrorSchema(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 40, Seed: 3})
+	_, err := New(Config{Graph: g, Schema: brokenSchema(t), Logger: quietLogger()})
+	if err == nil {
+		t.Fatal("New accepted a schema with lint errors")
+	}
+	if !strings.Contains(err.Error(), "lint error") || !strings.Contains(err.Error(), "AllowLintErrors") {
+		t.Errorf("refusal should name the cause and the override, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "SL001") && !strings.Contains(err.Error(), "SL003") {
+		t.Errorf("refusal should quote a finding with its SL-code, got: %v", err)
+	}
+}
+
+func TestAllowLintErrorsOverridesRefusal(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 40, Seed: 3})
+	srv, err := New(Config{
+		Graph: g, Schema: brokenSchema(t), Logger: quietLogger(),
+		AllowLintErrors: true,
+	})
+	if err != nil {
+		t.Fatalf("New with AllowLintErrors: %v", err)
+	}
+	if len(shapelint.Errors(srv.Lint())) == 0 {
+		t.Error("Lint() should still expose the error findings")
+	}
+}
+
+func TestLintFindingsOnMetricsEndpoint(t *testing.T) {
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 40, Seed: 3})
+	srv, err := New(Config{
+		Graph: g, Schema: brokenSchema(t), Logger: quietLogger(),
+		AllowLintErrors: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/metrics")
+	// The broken shape yields SL003+SL001 (errors); all three severity
+	// series must be present, zeros included.
+	wantLines := []string{
+		`fragserver_schema_lint_findings{severity="error"} 2`,
+		`fragserver_schema_lint_findings{severity="warning"} 0`,
+		`fragserver_schema_lint_findings{severity="info"} 0`,
+	}
+	for _, w := range wantLines {
+		if !strings.Contains(body, w) {
+			t.Errorf("/metrics missing %q", w)
+		}
+	}
+}
+
+func TestCleanSchemaExportsZeroLintFindings(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if len(srv.Lint()) != 0 {
+		t.Errorf("benchmark subset should lint clean, got %v", srv.Lint())
+	}
+	_, body := get(t, ts, "/metrics")
+	if !strings.Contains(body, `fragserver_schema_lint_findings{severity="error"} 0`) {
+		t.Error("/metrics should export the zero error series for a clean schema")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"shaclfrag/internal/obs"
+	"shaclfrag/internal/shapelint"
 )
 
 // Metric names exported on /metrics. docs/OPERATIONS.md carries the
@@ -16,6 +17,7 @@ const (
 	mResponseBytes   = "fragserver_response_bytes_total"
 	mInflight        = "fragserver_inflight_requests"
 	mShedTotal       = "fragserver_requests_shed_total"
+	mLintFindings    = "fragserver_schema_lint_findings"
 )
 
 // routeNames are the label values for the route label; requests outside
@@ -96,6 +98,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 		func() float64 { return float64(s.h.Len()) })
 	reg.GaugeFunc("fragserver_extraction_workers", "Parallel extraction worker count.",
 		func() float64 { return float64(s.workers) })
+
+	// Lint findings are fixed at load time, so the per-severity gauges are
+	// set once. All three severities are always exported: a zero is the
+	// signal that the schema came up clean, not a missing series.
+	for _, sev := range []shapelint.Severity{shapelint.Info, shapelint.Warning, shapelint.Error} {
+		reg.Gauge(mLintFindings,
+			"Schema lint findings reported by shapelint at load time, by severity.",
+			obs.L("severity", sev.String())).Set(int64(shapelint.Count(s.lint, sev)))
+	}
 
 	// Neighborhood-cache series exist only when the cache is enabled;
 	// absent series (rather than constant zeros) is how a scrape tells a

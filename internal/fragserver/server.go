@@ -58,6 +58,7 @@ import (
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/schema"
 	"shaclfrag/internal/shape"
+	"shaclfrag/internal/shapelint"
 	"shaclfrag/internal/tpf"
 	"shaclfrag/internal/turtle"
 )
@@ -81,6 +82,14 @@ type Config struct {
 	CacheTriples int
 	// Logger receives structured access logs; nil means slog.Default().
 	Logger *slog.Logger
+	// AllowLintErrors lets New proceed even when shapelint finds
+	// error-severity defects in the schema (unsatisfiable shapes, closed
+	// shapes with required properties outside the allowed set, …). By
+	// default such schemas are refused at load time: every fragment they
+	// would serve is provably empty, so starting up would only hide the
+	// bug behind per-request work. Warnings never block startup; they are
+	// logged and exported on /metrics either way.
+	AllowLintErrors bool
 }
 
 // Server serves shape fragments over HTTP. Create with New; the handler
@@ -89,6 +98,7 @@ type Config struct {
 type Server struct {
 	g       *rdfgraph.Graph
 	h       *schema.Schema
+	lint    []shapelint.Diagnostic
 	workers int
 	timeout time.Duration
 	log     *slog.Logger
@@ -138,12 +148,28 @@ func New(cfg Config) (*Server, error) {
 		logger = slog.Default()
 	}
 
+	lint := shapelint.Run(cfg.Schema)
+	if errs := shapelint.Errors(lint); len(errs) > 0 && !cfg.AllowLintErrors {
+		return nil, fmt.Errorf("fragserver: schema has %d lint error(s) (set Config.AllowLintErrors to serve it anyway); first: %s",
+			len(errs), errs[0])
+	}
+	for _, d := range lint {
+		lvl := slog.LevelWarn
+		if d.Severity < shapelint.Warning {
+			lvl = slog.LevelInfo
+		}
+		logger.Log(context.Background(), lvl, "schema lint finding",
+			"code", d.Code, "severity", d.Severity.String(),
+			"shape", d.Shape.String(), "msg", d.Message)
+	}
+
 	warmDictionary(cfg.Graph, cfg.Schema)
 	cfg.Graph.Freeze()
 
 	s := &Server{
 		g:        cfg.Graph,
 		h:        cfg.Schema,
+		lint:     lint,
 		workers:  workers,
 		timeout:  timeout,
 		log:      logger,
@@ -184,6 +210,11 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // debug listener so scrapes keep working while the main listener sheds
 // load.
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// Lint returns the schema lint findings computed at load time, in the
+// linter's stable order. With Config.AllowLintErrors unset the slice can
+// only hold warnings and infos — error findings make New refuse.
+func (s *Server) Lint() []shapelint.Diagnostic { return s.lint }
 
 // Draining reports whether graceful shutdown has begun; /readyz turns 503
 // at that point so load balancers stop routing new work here.

@@ -7,6 +7,7 @@ package schema
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"shaclfrag/internal/paths"
 	"shaclfrag/internal/rdf"
@@ -48,7 +49,11 @@ func New(defs ...Definition) (*Schema, error) {
 		s.defs = append(s.defs, d)
 	}
 	if cycle := s.findCycle(); cycle != nil {
-		return nil, fmt.Errorf("schema: recursive shape definitions: %v", cycle)
+		parts := make([]string, len(cycle))
+		for i, n := range cycle {
+			parts[i] = n.String()
+		}
+		return nil, fmt.Errorf("schema: recursive shape definitions: %s", strings.Join(parts, " → "))
 	}
 	return s, nil
 }
@@ -72,27 +77,36 @@ func (s *Schema) findCycle() []rdf.Term {
 		done      = 2
 	)
 	state := make(map[rdf.Term]int)
-	var cycle []rdf.Term
+	var stack, cycle []rdf.Term
 	var visit func(name rdf.Term) bool
 	visit = func(name rdf.Term) bool {
 		switch state[name] {
 		case inStack:
-			cycle = append(cycle, name)
+			// Report exactly the cycle, in reference order and closed by
+			// repeating its first member (s1 → s2 → s1) — not the whole
+			// path that happened to lead into it.
+			for i, n := range stack {
+				if n == name {
+					cycle = append(append(cycle, stack[i:]...), name)
+					break
+				}
+			}
 			return true
 		case done:
 			return false
 		}
 		state[name] = inStack
+		stack = append(stack, name)
 		if i, ok := s.byName[name]; ok {
 			refs := shape.ShapeRefs(s.defs[i].Shape)
 			refs = append(refs, shape.ShapeRefs(s.defs[i].Target)...)
 			for _, ref := range refs {
 				if visit(ref) {
-					cycle = append(cycle, name)
 					return true
 				}
 			}
 		}
+		stack = stack[:len(stack)-1]
 		state[name] = done
 		return false
 	}

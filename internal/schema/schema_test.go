@@ -57,6 +57,39 @@ func TestNewRejectsRecursion(t *testing.T) {
 	}
 }
 
+func TestRecursionErrorReportsFullCycle(t *testing.T) {
+	// entry → s1 → s2 → s3 → s1: the error must spell out the cycle in
+	// reference order, closed by its first member, without the entry path.
+	defs := []schema.Definition{
+		{Name: iri("entry"), Shape: shape.Ref(iri("s1")), Target: shape.FalseShape()},
+		{Name: iri("s1"), Shape: shape.Ref(iri("s2")), Target: shape.FalseShape()},
+		{Name: iri("s2"), Shape: shape.Ref(iri("s3")), Target: shape.FalseShape()},
+		{Name: iri("s3"), Shape: shape.Ref(iri("s1")), Target: shape.FalseShape()},
+	}
+	_, err := schema.New(defs...)
+	if err == nil {
+		t.Fatal("cycle must be rejected")
+	}
+	want := "schema: recursive shape definitions: " +
+		"<http://x/s1> → <http://x/s2> → <http://x/s3> → <http://x/s1>"
+	if err.Error() != want {
+		t.Errorf("error = %q\nwant    %q", err, want)
+	}
+	if strings.Contains(err.Error(), "entry") {
+		t.Errorf("error should not include the path into the cycle: %q", err)
+	}
+
+	// Self-loop: shortest possible cycle, still closed.
+	self := schema.Definition{Name: iri("S"), Shape: shape.Ref(iri("S")), Target: shape.FalseShape()}
+	_, err = schema.New(self)
+	if err == nil {
+		t.Fatal("self-loop must be rejected")
+	}
+	if want := "schema: recursive shape definitions: <http://x/S> → <http://x/S>"; err.Error() != want {
+		t.Errorf("error = %q\nwant    %q", err, want)
+	}
+}
+
 func TestNewRejectsNilShape(t *testing.T) {
 	if _, err := schema.New(schema.Definition{Name: iri("S")}); err == nil {
 		t.Error("nil shape expression must be rejected")

@@ -1,0 +1,19 @@
+package shaclsyn
+
+import (
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shapelint"
+)
+
+// LintSource parses a SHACL shapes graph in Turtle syntax, translates it
+// (Appendix A's t), and runs the shape linter over the result. Because
+// Translate names definitions after the shapes-graph nodes they came from,
+// the diagnostics point back at the IRIs (or deterministic blank-node
+// labels) of the SHACL source the author wrote, not at internal AST nodes.
+func LintSource(src string) (*schema.Schema, []shapelint.Diagnostic, error) {
+	h, err := ParseSchema(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, shapelint.Run(h), nil
+}

@@ -1,0 +1,129 @@
+package shapelint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/shapelint"
+)
+
+var update = flag.Bool("update", false, "rewrite the .golden files under examples/lint/")
+
+// TestGoldenCorpus runs the linter over every deliberately broken shapes
+// graph in examples/lint/ and compares the rendered diagnostics (code,
+// severity, source IRI, message, detail) against the checked-in .golden
+// files. Blank-node labels and definition order are deterministic in
+// turtle + shaclsyn, so the output is stable. Regenerate after intended
+// changes with:
+//
+//	go test ./internal/shapelint -run Golden -update
+func TestGoldenCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "lint")
+	files, err := filepath.Glob(filepath.Join(dir, "*.ttl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no corpus files under %s", dir)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, diags, err := shaclsyn.LintSource(string(src))
+			if err != nil {
+				t.Fatalf("LintSource: %v", err)
+			}
+			if len(diags) == 0 {
+				t.Fatal("corpus file produced no findings; it no longer seeds a defect")
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			goldenPath := strings.TrimSuffix(file, ".ttl") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed for %s\n--- got ---\n%s--- want ---\n%s",
+					filepath.Base(file), got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusCoversAllCodes keeps the corpus honest: together the
+// broken files must exercise every stable SL-code the linter can emit.
+func TestGoldenCorpusCoversAllCodes(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "lint", "*.ttl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, diags, err := shaclsyn.LintSource(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			seen[d.Code] = true
+		}
+	}
+	all := []string{
+		shapelint.CodeUnsat, shapelint.CodeTrivial, shapelint.CodeCardinality,
+		shapelint.CodeContradiction, shapelint.CodeClosed, shapelint.CodeDead,
+		shapelint.CodeShadowed, shapelint.CodeExpensivePath, shapelint.CodeUndefinedRef,
+	}
+	for _, code := range all {
+		if !seen[code] {
+			t.Errorf("corpus seeds no defect for %s", code)
+		}
+	}
+}
+
+// TestCleanExamplesLintClean is the other half of the acceptance bar: the
+// non-broken example schemas must produce zero findings of any severity.
+func TestCleanExamplesLintClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "shapes", "*.ttl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no clean example schemas found")
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, diags, err := shaclsyn.LintSource(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("%s should lint clean, got %v", filepath.Base(file), diags)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package shapelint is a static-analysis pass over shape schemas: it
+// walks the formal shape AST (internal/shape) of every definition in a
+// schema (internal/schema) and reports positioned, severity-ranked
+// findings with stable SL-codes, without ever touching a data graph.
+//
+// The pipeline is parse → translate → NNF → analyze: schemas arrive
+// already translated (internal/shaclsyn preserves the shapes-graph IRIs
+// as definition names, so findings point back at real SHACL shapes), each
+// definition body is put in negation normal form, and two cooperating
+// analyses run over it:
+//
+//   - constant folding (fold.go): a sound, incomplete rewriting toward
+//     ⊤/⊥ that inlines hasShape references and collapses contradictory
+//     conjunctions — cardinality clashes, incompatible node tests,
+//     closed-shape/required-property combinations, eq/disj pairs. A body
+//     folded to ⊥ is unsatisfiable on every graph; one folded to ⊤
+//     constrains nothing.
+//   - a syntactic walk for findings that are not about satisfiability:
+//     unbounded *-paths in universal or negated positions (which blow up
+//     product-automaton path tracing in internal/paths), and hasShape
+//     references to undefined names (silently ⊤ at evaluation time).
+//
+// A final reachability pass flags dead definitions: shapes with no
+// satisfiable target that no targeted definition (transitively)
+// references — they can never select or constrain a focus node.
+//
+// Every diagnostic carries a stable code (SL001…SL009) suitable for
+// golden tests and CI gating. internal/fragserver runs this pass at
+// schema load time, refusing hard-error schemas and exporting finding
+// counts per severity through internal/obs; the shaclfrag CLI exposes it
+// as the lint subcommand.
+package shapelint
+
+import (
+	"fmt"
+	"sort"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+// Severity ranks findings. Errors describe schemas that cannot behave as
+// written (unsatisfiable or contradictory shapes); warnings describe
+// schemas that work but are almost certainly not what the author meant
+// (dead shapes, vacuous shapes, shadowed disjuncts, expensive paths).
+type Severity int
+
+const (
+	// Info findings are advisory.
+	Info Severity = iota
+	// Warning findings indicate probable authoring mistakes or serving
+	// hazards that do not make the schema wrong.
+	Warning
+	// Error findings indicate defects that guarantee wasted or misleading
+	// work at serving time, such as unsatisfiable shapes.
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Stable diagnostic codes. Codes are append-only: a code's meaning never
+// changes once released, so golden tests and CI filters can match on them.
+const (
+	// CodeUnsat: the definition's shape expression folds to ⊥ — no node
+	// on any graph can conform, so every targeted node is a violation and
+	// every fragment of the shape is empty.
+	CodeUnsat = "SL001"
+	// CodeTrivial: the shape expression folds to ⊤ — the definition
+	// constrains nothing.
+	CodeTrivial = "SL002"
+	// CodeCardinality: a conjunction requires more values on a path than
+	// it allows (count≥m ∧ count≤n with m>n, or a required count whose
+	// values cannot satisfy a universal constraint on the same path).
+	CodeCardinality = "SL003"
+	// CodeContradiction: a conjunction combines constraints no single
+	// node can satisfy (incompatible node tests, distinct hasValue
+	// constants, φ ∧ ¬φ, eq/disj clashes).
+	CodeContradiction = "SL004"
+	// CodeClosed: a closed shape forbids the very property another
+	// conjunct requires values through.
+	CodeClosed = "SL005"
+	// CodeDead: the definition has no satisfiable target and is not
+	// referenced (transitively) by any targeted definition — it can never
+	// select or constrain a focus node.
+	CodeDead = "SL006"
+	// CodeShadowed: a disjunct can never matter — it is unsatisfiable, a
+	// duplicate of an earlier alternative, or trivially true (making the
+	// whole disjunction vacuous).
+	CodeShadowed = "SL007"
+	// CodeExpensivePath: an unbounded path (containing *) sits in a
+	// universal or negated position (≤n, ∀, pair constraints), where
+	// extraction must trace every path through the product automaton.
+	CodeExpensivePath = "SL008"
+	// CodeUndefinedRef: hasShape names a shape the schema does not
+	// define; evaluation silently treats it as ⊤.
+	CodeUndefinedRef = "SL009"
+)
+
+// Diagnostic is one positioned lint finding.
+type Diagnostic struct {
+	// Code is the stable SL-code of the finding class.
+	Code string
+	// Severity ranks the finding.
+	Severity Severity
+	// Shape names the definition the finding is positioned in. For
+	// schemas translated from real SHACL this is the shapes-graph IRI (or
+	// blank node) of the offending shape.
+	Shape rdf.Term
+	// Detail renders the offending subexpression(s) in the paper's shape
+	// syntax, or is empty for whole-definition findings.
+	Detail string
+	// Message states the defect.
+	Message string
+
+	defIndex int // declaration index, for deterministic ordering
+}
+
+// String renders "CODE severity shape: message (at detail)".
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s %s %s: %s", d.Code, d.Severity, d.Shape, d.Message)
+	if d.Detail != "" {
+		s += " (at " + d.Detail + ")"
+	}
+	return s
+}
+
+// Run lints a schema and returns its findings, most severe first within
+// each definition, definitions in declaration order. Run never touches a
+// data graph; its cost is linear in the schema size times the conjunction
+// widths. A nil schema has no findings.
+func Run(h *schema.Schema) []Diagnostic {
+	if h == nil {
+		return nil
+	}
+	l := &linter{h: h, defIdx: make(map[rdf.Term]int, h.Len())}
+	l.f = newFolder(l)
+	defs := h.Definitions()
+	for i, d := range defs {
+		l.defIdx[d.Name] = i
+	}
+
+	// Fold every definition in declaration order. Folding emits the
+	// positioned conjunction/disjunction findings as it goes and yields
+	// the per-definition constant verdicts.
+	folded := make([]shape.Shape, len(defs))
+	for _, d := range defs {
+		folded[l.defIdx[d.Name]], _ = l.f.foldDef(d.Name)
+	}
+	for i, d := range defs {
+		switch {
+		case isFalse(folded[i]):
+			l.emit(d.Name, CodeUnsat, Error, "",
+				"shape is unsatisfiable: no node on any graph can conform, and its fragments are always empty")
+		case isTrue(folded[i]):
+			l.emit(d.Name, CodeTrivial, Warning, "",
+				"shape is trivially satisfied and constrains nothing")
+		}
+	}
+
+	// Syntactic walks: expensive paths and undefined references.
+	for _, d := range defs {
+		l.walkCost(d.Name, shape.NNF(d.Shape), false)
+		l.checkRefs(d.Name, d.Shape, d.Target)
+	}
+
+	// Dead definitions: unreachable from any satisfiable target.
+	l.deadShapes(defs, folded)
+
+	sort.SliceStable(l.diags, func(i, j int) bool {
+		a, b := l.diags[i], l.diags[j]
+		if a.defIndex != b.defIndex {
+			return a.defIndex < b.defIndex
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return a.Message < b.Message
+	})
+	return l.diags
+}
+
+// Errors returns the error-severity findings.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Count returns how many findings have the given severity.
+func Count(diags []Diagnostic, sev Severity) int {
+	n := 0
+	for _, d := range diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+type linter struct {
+	h      *schema.Schema
+	f      *folder
+	defIdx map[rdf.Term]int
+	diags  []Diagnostic
+
+	// seen dedupes findings that several syntactic positions would repeat
+	// verbatim (e.g. the same star path in two constraints).
+	seen map[string]bool
+}
+
+func (l *linter) emit(name rdf.Term, code string, sev Severity, detail, message string) {
+	if l.seen == nil {
+		l.seen = make(map[string]bool)
+	}
+	k := name.String() + "\x00" + code + "\x00" + detail + "\x00" + message
+	if l.seen[k] {
+		return
+	}
+	l.seen[k] = true
+	l.diags = append(l.diags, Diagnostic{
+		Code:     code,
+		Severity: sev,
+		Shape:    name,
+		Detail:   detail,
+		Message:  message,
+		defIndex: l.defIdx[name],
+	})
+}
+
+// walkCost flags unbounded paths in positions where provenance tracing
+// must enumerate every path: ≤n and ∀ (the negative quantifiers after
+// NNF), the pair constraints (eq, disj, order comparisons, uniqueLang),
+// and any atom under a residual negation.
+func (l *linter) walkCost(name rdf.Term, phi shape.Shape, negated bool) {
+	warn := func(e paths.Expr, construct string) {
+		if e != nil && hasStar(e) {
+			l.emit(name, CodeExpensivePath, Warning, e.String(),
+				fmt.Sprintf("unbounded path in %s forces full product-automaton tracing of every matching walk", construct))
+		}
+	}
+	switch x := phi.(type) {
+	case *shape.Not:
+		l.walkCost(name, x.X, true)
+	case *shape.And:
+		for _, c := range x.Xs {
+			l.walkCost(name, c, negated)
+		}
+	case *shape.Or:
+		for _, c := range x.Xs {
+			l.walkCost(name, c, negated)
+		}
+	case *shape.MinCount:
+		if negated {
+			warn(x.Path, "a negated ≥n constraint")
+		}
+		l.walkCost(name, x.X, negated)
+	case *shape.MaxCount:
+		warn(x.Path, "a ≤n constraint")
+		l.walkCost(name, x.X, negated)
+	case *shape.Forall:
+		warn(x.Path, "a ∀ constraint")
+		l.walkCost(name, x.X, negated)
+	case *shape.Eq:
+		warn(x.Path, "an eq constraint")
+	case *shape.Disj:
+		warn(x.Path, "a disj constraint")
+	case *shape.LessThan:
+		warn(x.Path, "a lessThan constraint")
+	case *shape.LessThanEq:
+		warn(x.Path, "a lessThanEq constraint")
+	case *shape.MoreThan:
+		warn(x.Path, "a moreThan constraint")
+	case *shape.MoreThanEq:
+		warn(x.Path, "a moreThanEq constraint")
+	case *shape.UniqueLang:
+		warn(x.Path, "a uniqueLang constraint")
+	}
+}
+
+func hasStar(e paths.Expr) bool {
+	switch x := e.(type) {
+	case paths.Star:
+		return true
+	case paths.Inverse:
+		return hasStar(x.X)
+	case paths.Seq:
+		return hasStar(x.Left) || hasStar(x.Right)
+	case paths.Alt:
+		return hasStar(x.Left) || hasStar(x.Right)
+	case paths.ZeroOrOne:
+		return hasStar(x.X)
+	}
+	return false
+}
+
+// checkRefs reports hasShape references to names the schema does not
+// define, in the shape or the target.
+func (l *linter) checkRefs(name rdf.Term, body, target shape.Shape) {
+	for _, sh := range []shape.Shape{body, target} {
+		if sh == nil {
+			continue
+		}
+		for _, ref := range shape.ShapeRefs(sh) {
+			if _, ok := l.h.Def(ref); !ok {
+				l.emit(name, CodeUndefinedRef, Warning, "hasShape("+ref.String()+")",
+					"reference to undefined shape "+ref.String()+" is silently treated as ⊤")
+			}
+		}
+	}
+}
+
+// deadShapes flags definitions unreachable from any definition with a
+// satisfiable target: they never select a focus node themselves and no
+// validated shape depends on them.
+func (l *linter) deadShapes(defs []schema.Definition, folded []shape.Shape) {
+	reachable := make([]bool, len(defs))
+	var queue []int
+	for i, d := range defs {
+		if d.Target == nil {
+			continue
+		}
+		if !isFalse(l.f.probe(shape.NNF(d.Target))) {
+			reachable[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		refs := shape.ShapeRefs(defs[i].Shape)
+		refs = append(refs, shape.ShapeRefs(defs[i].Target)...)
+		for _, ref := range refs {
+			if j, ok := l.defIdx[ref]; ok && !reachable[j] {
+				reachable[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	for i, d := range defs {
+		if !reachable[i] {
+			l.emit(d.Name, CodeDead, Warning, "",
+				"dead shape: no satisfiable target and no targeted definition references it")
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package shapelint
+
+import (
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+const ns = "http://x/"
+
+func iri(local string) rdf.Term { return rdf.NewIRI(ns + local) }
+
+func prop(local string) paths.Expr { return paths.P(ns + local) }
+
+// mustSchema builds a schema from (name, shape, target) triples.
+func mustSchema(t *testing.T, defs ...schema.Definition) *schema.Schema {
+	t.Helper()
+	h, err := schema.New(defs...)
+	if err != nil {
+		t.Fatalf("schema.New: %v", err)
+	}
+	return h
+}
+
+func def(name string, body, target shape.Shape) schema.Definition {
+	return schema.Definition{Name: iri(name), Shape: body, Target: target}
+}
+
+// codesOf returns the distinct codes reported against the named shape.
+func codesOf(diags []Diagnostic, name rdf.Term) map[string]bool {
+	out := map[string]bool{}
+	for _, d := range diags {
+		if d.Shape == name {
+			out[d.Code] = true
+		}
+	}
+	return out
+}
+
+func wantCodes(t *testing.T, diags []Diagnostic, name rdf.Term, want ...string) {
+	t.Helper()
+	got := codesOf(diags, name)
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("shape %s: missing %s in findings %v", name, w, diags)
+		}
+	}
+}
+
+func wantNoCode(t *testing.T, diags []Diagnostic, code string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Code == code {
+			t.Errorf("unexpected %s: %s", code, d)
+		}
+	}
+}
+
+var anyTarget = schema.TargetClass(rdf.NewIRI(ns + "C"))
+
+func TestCleanShapeHasNoFindings(t *testing.T) {
+	h := mustSchema(t,
+		def("s", shape.AndOf(
+			shape.Min(1, prop("name"), shape.TrueShape()),
+			shape.Max(3, prop("name"), shape.TrueShape()),
+			shape.All(prop("age"), shape.NodeTestShape(shape.Datatype{IRI: rdf.XSDInteger})),
+		), anyTarget),
+	)
+	if diags := Run(h); len(diags) != 0 {
+		t.Fatalf("clean schema produced findings: %v", diags)
+	}
+}
+
+func TestCardinalityContradiction(t *testing.T) {
+	h := mustSchema(t,
+		def("s", shape.AndOf(
+			shape.Min(3, prop("p"), shape.TrueShape()),
+			shape.Max(1, prop("p"), shape.TrueShape()),
+		), anyTarget),
+	)
+	diags := Run(h)
+	wantCodes(t, diags, iri("s"), CodeCardinality, CodeUnsat)
+}
+
+func TestMinAgainstForall(t *testing.T) {
+	// ≥1 p.⊤ ∧ ∀p.⊥-ish body: required successors cannot satisfy the
+	// universal constraint.
+	h := mustSchema(t,
+		def("s", shape.AndOf(
+			shape.Min(1, prop("p"), shape.TrueShape()),
+			shape.All(prop("p"), shape.AndOf(
+				shape.NodeTestShape(shape.IsIRI{}),
+				shape.NodeTestShape(shape.IsLiteral{}),
+			)),
+		), anyTarget),
+	)
+	diags := Run(h)
+	wantCodes(t, diags, iri("s"), CodeCardinality, CodeContradiction, CodeUnsat)
+}
+
+func TestContradictoryNodeTests(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b shape.NodeTest
+	}{
+		{"kinds", shape.IsIRI{}, shape.IsLiteral{}},
+		{"datatypes", shape.Datatype{IRI: rdf.XSDInteger}, shape.Datatype{IRI: rdf.XSDString}},
+		{"datatype-vs-iri", shape.Datatype{IRI: rdf.XSDInteger}, shape.IsIRI{}},
+		{"lang-vs-datatype", shape.HasLang{Tag: "en"}, shape.Datatype{IRI: rdf.XSDString}},
+		{"langs", shape.HasLang{Tag: "en"}, shape.HasLang{Tag: "de"}},
+		{"lengths", shape.MinLength{N: 5}, shape.MaxLength{N: 2}},
+		{"range", shape.MinInclusive{Bound: rdf.NewInteger(10)}, shape.MaxInclusive{Bound: rdf.NewInteger(3)}},
+		{"open-range", shape.MinExclusive{Bound: rdf.NewInteger(3)}, shape.MaxExclusive{Bound: rdf.NewInteger(3)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := mustSchema(t, def("s", shape.AndOf(
+				shape.NodeTestShape(tc.a), shape.NodeTestShape(tc.b),
+			), anyTarget))
+			diags := Run(h)
+			wantCodes(t, diags, iri("s"), CodeContradiction, CodeUnsat)
+		})
+	}
+}
+
+func TestCompatibleNodeTestsPass(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b shape.NodeTest
+	}{
+		{"same-datatype", shape.Datatype{IRI: rdf.XSDInteger}, shape.Datatype{IRI: rdf.XSDInteger}},
+		{"lang-langString", shape.HasLang{Tag: "en"}, shape.Datatype{IRI: rdf.RDFLangString}},
+		{"lengths-ok", shape.MinLength{N: 2}, shape.MaxLength{N: 5}},
+		{"range-ok", shape.MinInclusive{Bound: rdf.NewInteger(3)}, shape.MaxInclusive{Bound: rdf.NewInteger(10)}},
+		{"incomparable-bounds", shape.MinInclusive{Bound: rdf.NewInteger(3)}, shape.MaxInclusive{Bound: rdf.NewString("zz")}},
+		{"anyof-overlap", shape.AnyOf{Tests: []shape.NodeTest{shape.IsIRI{}, shape.IsLiteral{}}}, shape.IsLiteral{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := mustSchema(t, def("s", shape.AndOf(
+				shape.NodeTestShape(tc.a), shape.NodeTestShape(tc.b),
+			), anyTarget))
+			diags := Run(h)
+			wantNoCode(t, diags, CodeContradiction)
+			wantNoCode(t, diags, CodeUnsat)
+		})
+	}
+}
+
+func TestHasValueConflicts(t *testing.T) {
+	t.Run("two-constants", func(t *testing.T) {
+		h := mustSchema(t, def("s", shape.AndOf(
+			shape.Value(iri("a")), shape.Value(iri("b")),
+		), anyTarget))
+		wantCodes(t, Run(h), iri("s"), CodeContradiction, CodeUnsat)
+	})
+	t.Run("constant-fails-test", func(t *testing.T) {
+		h := mustSchema(t, def("s", shape.AndOf(
+			shape.Value(iri("a")), shape.NodeTestShape(shape.IsLiteral{}),
+		), anyTarget))
+		wantCodes(t, Run(h), iri("s"), CodeContradiction, CodeUnsat)
+	})
+	t.Run("constant-satisfies-negated-test", func(t *testing.T) {
+		h := mustSchema(t, def("s", shape.AndOf(
+			shape.Value(iri("a")), shape.Neg(shape.NodeTestShape(shape.IsIRI{})),
+		), anyTarget))
+		wantCodes(t, Run(h), iri("s"), CodeContradiction, CodeUnsat)
+	})
+}
+
+func TestComplementConjunction(t *testing.T) {
+	phi := shape.EqPath(prop("p"), ns+"q")
+	h := mustSchema(t, def("s", shape.AndOf(phi, shape.Neg(phi)), anyTarget))
+	wantCodes(t, Run(h), iri("s"), CodeContradiction, CodeUnsat)
+}
+
+func TestClosedVersusRequired(t *testing.T) {
+	h := mustSchema(t, def("s", shape.AndOf(
+		shape.ClosedShape(ns+"allowed"),
+		shape.Min(1, paths.SeqOf(prop("forbidden"), prop("x")), shape.TrueShape()),
+	), anyTarget))
+	wantCodes(t, Run(h), iri("s"), CodeClosed, CodeUnsat)
+}
+
+func TestClosedAllowsListedProperty(t *testing.T) {
+	h := mustSchema(t, def("s", shape.AndOf(
+		shape.ClosedShape(ns+"p"),
+		shape.Min(1, prop("p"), shape.TrueShape()),
+	), anyTarget))
+	diags := Run(h)
+	wantNoCode(t, diags, CodeClosed)
+	wantNoCode(t, diags, CodeUnsat)
+}
+
+func TestClosedIgnoresInversePaths(t *testing.T) {
+	// Closedness constrains outgoing edges only; an inverse first step is
+	// not a conflict.
+	h := mustSchema(t, def("s", shape.AndOf(
+		shape.ClosedShape(ns+"p"),
+		shape.Min(1, paths.Inv(prop("q")), shape.TrueShape()),
+	), anyTarget))
+	wantNoCode(t, Run(h), CodeClosed)
+}
+
+func TestEqDisjConflict(t *testing.T) {
+	t.Run("on-id-is-error", func(t *testing.T) {
+		h := mustSchema(t, def("s", shape.AndOf(
+			shape.EqID(ns+"p"), shape.DisjID(ns+"p"),
+		), anyTarget))
+		wantCodes(t, Run(h), iri("s"), CodeContradiction, CodeUnsat)
+	})
+	t.Run("on-path-is-warning", func(t *testing.T) {
+		h := mustSchema(t, def("s", shape.AndOf(
+			shape.EqPath(prop("e"), ns+"p"), shape.DisjPath(prop("e"), ns+"p"),
+		), anyTarget))
+		diags := Run(h)
+		wantCodes(t, diags, iri("s"), CodeContradiction)
+		wantNoCode(t, diags, CodeUnsat)
+		for _, d := range diags {
+			if d.Code == CodeContradiction && d.Severity != Warning {
+				t.Errorf("eq/disj on a path should be a warning, got %s", d)
+			}
+		}
+	})
+}
+
+func TestTrivialShape(t *testing.T) {
+	h := mustSchema(t, def("s", shape.TrueShape(), anyTarget))
+	wantCodes(t, Run(h), iri("s"), CodeTrivial)
+}
+
+func TestUnsatThroughReference(t *testing.T) {
+	// s2 is ⊥; s1 references it and becomes ⊥ by inlining.
+	h := mustSchema(t,
+		def("s1", shape.Ref(iri("s2")), anyTarget),
+		def("s2", shape.AndOf(
+			shape.NodeTestShape(shape.IsIRI{}),
+			shape.NodeTestShape(shape.IsBlank{}),
+		), nil),
+	)
+	diags := Run(h)
+	wantCodes(t, diags, iri("s1"), CodeUnsat)
+	wantCodes(t, diags, iri("s2"), CodeContradiction, CodeUnsat)
+	// The contradiction inside s2 must be attributed to s2, not s1.
+	for _, d := range diags {
+		if d.Code == CodeContradiction && d.Shape != iri("s2") {
+			t.Errorf("contradiction attributed to %s, want s2", d.Shape)
+		}
+	}
+}
+
+func TestNegatedUnsatReferenceIsTrivial(t *testing.T) {
+	// ¬hasShape(⊥-shape) is ⊤: s1 gets SL002, not SL001.
+	h := mustSchema(t,
+		def("s1", shape.Neg(shape.Ref(iri("s2"))), anyTarget),
+		def("s2", shape.AndOf(shape.Value(iri("a")), shape.Value(iri("b"))), nil),
+	)
+	diags := Run(h)
+	wantCodes(t, diags, iri("s1"), CodeTrivial)
+	wantCodes(t, diags, iri("s2"), CodeUnsat)
+}
+
+func TestDeadShape(t *testing.T) {
+	h := mustSchema(t,
+		def("live", shape.Min(1, prop("p"), shape.TrueShape()), anyTarget),
+		def("orphan", shape.Min(1, prop("q"), shape.TrueShape()), nil),
+		def("helper", shape.Min(1, prop("r"), shape.TrueShape()), nil),
+		def("uses-helper", shape.Ref(iri("helper")), anyTarget),
+	)
+	diags := Run(h)
+	wantCodes(t, diags, iri("orphan"), CodeDead)
+	for _, d := range diags {
+		if d.Code == CodeDead && d.Shape != iri("orphan") {
+			t.Errorf("unexpected dead shape %s", d.Shape)
+		}
+	}
+}
+
+func TestShadowedDisjuncts(t *testing.T) {
+	t.Run("duplicate", func(t *testing.T) {
+		dup := shape.NodeTestShape(shape.Datatype{IRI: rdf.XSDString})
+		h := mustSchema(t, def("s", shape.OrOf(
+			dup, shape.NodeTestShape(shape.Datatype{IRI: rdf.XSDString}),
+		), anyTarget))
+		wantCodes(t, Run(h), iri("s"), CodeShadowed)
+	})
+	t.Run("unsat-disjunct", func(t *testing.T) {
+		h := mustSchema(t, def("s", shape.OrOf(
+			shape.AndOf(shape.NodeTestShape(shape.IsIRI{}), shape.NodeTestShape(shape.IsLiteral{})),
+			shape.NodeTestShape(shape.IsIRI{}),
+		), anyTarget))
+		diags := Run(h)
+		wantCodes(t, diags, iri("s"), CodeShadowed, CodeContradiction)
+		wantNoCode(t, diags, CodeUnsat)
+	})
+}
+
+func TestExpensivePaths(t *testing.T) {
+	star := paths.Star{X: prop("knows")}
+	cases := []struct {
+		name string
+		body shape.Shape
+		want bool
+	}{
+		{"max-star", shape.Max(2, star, shape.TrueShape()), true},
+		{"forall-star", shape.All(star, shape.NodeTestShape(shape.IsIRI{})), true},
+		{"eq-star", shape.EqPath(star, ns+"p"), true},
+		{"uniquelang-star", shape.UniqueLangShape(star), true},
+		{"negated-min-star", shape.Neg(shape.Min(1, star, shape.TrueShape())), true},
+		{"min-star-is-cheap", shape.Min(1, star, shape.TrueShape()), false},
+		{"max-plain", shape.Max(2, prop("knows"), shape.TrueShape()), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := mustSchema(t, def("s", tc.body, anyTarget))
+			got := codesOf(Run(h), iri("s"))[CodeExpensivePath]
+			if got != tc.want {
+				t.Errorf("expensive-path finding = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestUndefinedReference(t *testing.T) {
+	h := mustSchema(t, def("s", shape.AndOf(
+		shape.Ref(iri("missing")),
+		shape.Min(1, prop("p"), shape.TrueShape()),
+	), anyTarget))
+	diags := Run(h)
+	wantCodes(t, diags, iri("s"), CodeUndefinedRef)
+	wantNoCode(t, diags, CodeUnsat)
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	build := func() *schema.Schema {
+		return mustSchema(t,
+			def("a", shape.AndOf(
+				shape.Min(3, prop("p"), shape.TrueShape()),
+				shape.Max(1, prop("p"), shape.TrueShape()),
+				shape.NodeTestShape(shape.IsIRI{}),
+				shape.NodeTestShape(shape.IsLiteral{}),
+			), anyTarget),
+			def("b", shape.Ref(iri("a")), anyTarget),
+			def("dead", shape.Min(1, prop("q"), shape.TrueShape()), nil),
+		)
+	}
+	first := fmtDiags(Run(build()))
+	for i := 0; i < 5; i++ {
+		if got := fmtDiags(Run(build())); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+func fmtDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestBenchmarkShapesLintCleanOfErrors(t *testing.T) {
+	// The default fragserver startup schema must never be refused.
+	h, err := schema.New(datagen.BenchmarkShapes()...)
+	if err != nil {
+		t.Fatalf("schema.New: %v", err)
+	}
+	diags := Run(h)
+	if errs := Errors(diags); len(errs) > 0 {
+		t.Fatalf("benchmark shapes have lint errors: %v", errs)
+	}
+}
+
+func TestSeverityAndDiagnosticString(t *testing.T) {
+	if Error.String() != "error" || Warning.String() != "warning" || Info.String() != "info" {
+		t.Fatal("severity strings changed")
+	}
+	d := Diagnostic{Code: CodeUnsat, Severity: Error, Shape: iri("s"), Message: "m", Detail: "x"}
+	want := "SL001 error <http://x/s>: m (at x)"
+	if d.String() != want {
+		t.Fatalf("String() = %q, want %q", d.String(), want)
+	}
+	diags := []Diagnostic{{Severity: Error}, {Severity: Warning}, {Severity: Warning}}
+	if Count(diags, Warning) != 2 || len(Errors(diags)) != 1 {
+		t.Fatal("Count/Errors miscounted")
+	}
+}

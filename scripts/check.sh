@@ -1,0 +1,56 @@
+#!/bin/sh
+# CI gate: formatting, vet, race tests on the serving-path packages, and
+# the shape linter over the example schemas — clean ones must be silent,
+# the examples/lint/ corpus must be flagged. Run from anywhere; the script
+# cd's to the repository root. `make check` is the local entry point.
+set -eu
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+echo "== gofmt"
+unformatted=$(gofmt -l . 2>/dev/null || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+$GO vet ./...
+
+echo "== go build"
+$GO build ./...
+
+echo "== go test -race (serving path)"
+$GO test -race ./internal/core ./internal/rdfgraph ./internal/fragserver ./internal/shapelint
+
+echo "== go test (everything else)"
+$GO test ./...
+
+echo "== shaclfrag lint"
+bin=$(mktemp -d)/shaclfrag
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+$GO build -o "$bin" ./cmd/shaclfrag
+
+# Clean example schemas must produce zero findings.
+for f in examples/shapes/*.ttl; do
+    out=$("$bin" lint "$f")
+    if echo "$out" | grep -q 'SL0'; then
+        echo "clean schema $f has findings:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+
+# Every file in the broken corpus must be flagged with an SL-code.
+for f in examples/lint/*.ttl; do
+    out=$("$bin" lint "$f" || true)
+    if ! echo "$out" | grep -q 'SL0'; then
+        echo "broken schema $f was not flagged:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+
+echo "check: OK"
