@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check clean cover
+.PHONY: build test race vet bench bench-json bench-json-smoke check clean cover
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,17 @@ bench:
 # One benchmark run of the parallel-extraction series only.
 bench-parallel:
 	$(GO) test -bench FragmentParallel -benchmem -run NONE .
+
+# Machine-readable benchmark trajectory: runs the paper's Fig1–Fig3 and
+# table benchmarks and writes bench/BENCH_<n>.json (name, ns/op, B/op,
+# allocs/op, git SHA) with <n> one past the last snapshot.
+bench-json:
+	$(GO) run ./cmd/benchjson -bench 'Fig|Tab' -benchtime 2s -dir bench
+
+# The same suite at one iteration each: proves the benchmarks compile and
+# the parser still reads their output, writes nothing. Part of `make check`.
+bench-json-smoke:
+	$(GO) run ./cmd/benchjson -smoke -bench 'Fig|Tab'
 
 # Full CI gate: gofmt, vet, build, race tests on the serving-path
 # packages, the whole test suite, and `shaclfrag lint` over examples/

@@ -1,0 +1,184 @@
+// Command benchjson runs the repository's benchmark suite and writes one
+// machine-readable snapshot per invocation, so benchmark results form a
+// trajectory that scripts can diff across commits instead of a wall of
+// text in a terminal scrollback.
+//
+// Usage:
+//
+//	benchjson [-bench <regexp>] [-benchtime 2s] [-count 1] [-pkg .] [-dir bench]
+//	benchjson -smoke [-bench <regexp>]
+//
+// It shells out to `go test -run ^$ -bench ... -benchmem`, parses the
+// standard benchmark output, and writes BENCH_<n>.json into -dir, where
+// <n> is one past the highest existing snapshot index. Each snapshot
+// carries the git SHA, the Go version, the benchtime, and per-benchmark
+// name, iterations, ns/op, B/op and allocs/op.
+//
+// -smoke runs every benchmark once (-benchtime 1x), checks the output
+// parses, and writes nothing — the CI hook that keeps the benchmarks
+// compiling and the parser honest without paying for a full run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Snapshot is the schema of one BENCH_<n>.json file.
+type Snapshot struct {
+	GitSHA    string   `json:"git_sha"`
+	GoVersion string   `json:"go_version"`
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	StartedAt string   `json:"started_at"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark name regexp, as for go test -bench")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark budget, as for go test -benchtime")
+	count := flag.Int("count", 1, "runs per benchmark, as for go test -count")
+	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
+	dir := flag.String("dir", "bench", "output directory for BENCH_<n>.json snapshots")
+	smoke := flag.Bool("smoke", false, "run each benchmark once, verify the output parses, write nothing")
+	flag.Parse()
+
+	if *smoke {
+		*benchtime = "1x"
+	}
+	out, err := runBenchmarks(*bench, *benchtime, *count, *pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	results := parseBenchOutput(string(out))
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results matched -bench %q:\n%s", *bench, out)
+		os.Exit(1)
+	}
+	if *smoke {
+		fmt.Printf("benchjson: smoke OK, %d benchmark(s) parsed\n", len(results))
+		return
+	}
+
+	snap := Snapshot{
+		GitSHA:    gitSHA(),
+		GoVersion: runtime.Version(),
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		StartedAt: time.Now().UTC().Format(time.RFC3339),
+		Results:   results,
+	}
+	path, err := writeSnapshot(*dir, snap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks, git %s)\n", path, len(results), snap.GitSHA)
+}
+
+func runBenchmarks(bench, benchtime string, count int, pkg string) ([]byte, error) {
+	gocmd := os.Getenv("GO")
+	if gocmd == "" {
+		gocmd = "go"
+	}
+	cmd := exec.Command(gocmd, "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	return buf.Bytes(), err
+}
+
+// benchLine matches standard `go test -bench -benchmem` result lines:
+//
+//	BenchmarkName/sub-8  100  123456 ns/op  789 B/op  12 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parseBenchOutput extracts every benchmark result line from go test
+// output, ignoring the surrounding goos/pkg/PASS chatter.
+func parseBenchOutput(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iterations: iters}
+		// The tail is (value, unit) pairs; unknown units are skipped so
+		// custom b.ReportMetric series don't break parsing.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// nextIndex returns one past the highest BENCH_<n>.json index in dir, so
+// snapshots order by filename into a trajectory.
+func nextIndex(dir string) int {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	next := 0
+	for _, m := range matches {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if n, err := strconv.Atoi(base); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+func writeSnapshot(dir string, snap Snapshot) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", nextIndex(dir)))
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

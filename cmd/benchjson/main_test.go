@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: shaclfrag
+cpu: Some CPU
+BenchmarkFig1Validation/individuals=1000-8         	     100	  11234567 ns/op	  345678 B/op	    1234 allocs/op
+BenchmarkFig1Extraction/individuals=1000-8          	      50	  22345678 ns/op	  456789 B/op	    2345 allocs/op
+BenchmarkFragmentParallel/workers=4-8               	      10	 103456789.5 ns/op	 5678901 B/op	   34567 allocs/op
+BenchmarkCustomMetric-8                             	    1000	      1234 ns/op	        17.0 frags/op	     128 B/op	       2 allocs/op
+PASS
+ok  	shaclfrag	12.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results := parseBenchOutput(sampleOutput)
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkFig1Validation/individuals=1000-8" ||
+		r.Iterations != 100 || r.NsPerOp != 11234567 ||
+		r.BytesPerOp != 345678 || r.AllocsPerOp != 1234 {
+		t.Errorf("first result mismatch: %+v", r)
+	}
+	// Fractional ns/op parses.
+	if results[2].NsPerOp != 103456789.5 {
+		t.Errorf("fractional ns/op: %+v", results[2])
+	}
+	// Unknown units (custom ReportMetric series) are skipped, the known
+	// pairs around them still land.
+	c := results[3]
+	if c.NsPerOp != 1234 || c.BytesPerOp != 128 || c.AllocsPerOp != 2 {
+		t.Errorf("custom-metric line mismatch: %+v", c)
+	}
+	// Non-benchmark chatter contributes nothing.
+	if got := parseBenchOutput("PASS\nok \tx\t1s\n"); len(got) != 0 {
+		t.Errorf("chatter parsed as results: %+v", got)
+	}
+}
+
+func TestSnapshotIndexing(t *testing.T) {
+	dir := t.TempDir()
+	if n := nextIndex(dir); n != 0 {
+		t.Fatalf("empty dir index = %d, want 0", n)
+	}
+	snap := Snapshot{GitSHA: "abc", Results: parseBenchOutput(sampleOutput)}
+	p0, err := writeSnapshot(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p0) != "BENCH_0.json" {
+		t.Errorf("first snapshot at %s", p0)
+	}
+	p1, err := writeSnapshot(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Errorf("second snapshot at %s", p1)
+	}
+	// Gaps don't cause overwrites: the index is one past the maximum.
+	if err := os.Remove(p0); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := writeSnapshot(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Errorf("post-gap snapshot at %s", p2)
+	}
+
+	// The written file round-trips through the documented schema.
+	data, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.GitSHA != "abc" || len(got.Results) != 4 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}

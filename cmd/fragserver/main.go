@@ -1,6 +1,7 @@
 // Command fragserver serves shape fragments over HTTP: /validate,
 // /fragment (whole schema, per-shape), /node (per-node neighborhoods
-// B(v, G, φ)), and /tpf triple pattern fragments, streaming N-Triples.
+// B(v, G, φ)), /explain (per-triple provenance justifications, JSON),
+// and /tpf triple pattern fragments, streaming N-Triples.
 //
 // Serve your own data:
 //
@@ -60,6 +61,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json (applies to access and lifecycle logs alike)")
 	allowLintErrors := flag.Bool("allow-lint-errors", false, "serve schemas that shapelint flags with error-severity findings")
+	noExplain := flag.Bool("no-explain", false, "disable the /explain route")
+	attrSample := flag.Int("attribution-sample", 0, "attribute 1 in N extraction requests into the fragserver_attribution_* counters (0 disables; sampled requests bypass the neighborhood cache)")
 	jsonLogs := flag.Bool("json-logs", false, "deprecated alias for -log-format json")
 	flag.Parse()
 
@@ -80,14 +83,16 @@ func main() {
 	}
 
 	srv, err := fragserver.New(fragserver.Config{
-		Graph:           g,
-		Schema:          h,
-		Workers:         *workers,
-		MaxInflight:     *maxInflight,
-		RequestTimeout:  *timeout,
-		CacheTriples:    *cacheTriples,
-		Logger:          logger,
-		AllowLintErrors: *allowLintErrors,
+		Graph:             g,
+		Schema:            h,
+		Workers:           *workers,
+		MaxInflight:       *maxInflight,
+		RequestTimeout:    *timeout,
+		CacheTriples:      *cacheTriples,
+		Logger:            logger,
+		AllowLintErrors:   *allowLintErrors,
+		DisableExplain:    *noExplain,
+		AttributionSample: *attrSample,
 	})
 	if err != nil {
 		fatal(logger, "building server failed", err)

@@ -7,6 +7,7 @@
 //	shaclfrag validate     -data data.ttl -shapes shapes.ttl
 //	shaclfrag fragment     -data data.ttl -shapes shapes.ttl [-o out.nt]
 //	shaclfrag neighborhood -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
+//	shaclfrag explain      -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>] [-json] [-diff <name>]
 //	shaclfrag whynot       -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
 //	shaclfrag translate    -shapes shapes.ttl [-shape <name>]
 //	shaclfrag lint         shapes.ttl [more.ttl ...]
@@ -14,12 +15,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	shaclfrag "shaclfrag"
+	"shaclfrag/internal/core"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/shape"
 	"shaclfrag/internal/tpf"
@@ -38,6 +41,8 @@ func main() {
 		err = cmdFragment(os.Args[2:])
 	case "neighborhood":
 		err = cmdNeighborhood(os.Args[2:], false)
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "whynot":
 		err = cmdNeighborhood(os.Args[2:], true)
 	case "translate":
@@ -66,6 +71,7 @@ commands:
   validate      validate a data graph against a shapes graph
   fragment      extract the shape fragment Frag(G, H)
   neighborhood  extract B(v, G, φ) for one focus node
+  explain       extract B(v, G, φ) annotated with per-triple justifications
   whynot        extract the why-not provenance B(v, G, ¬φ)
   translate     render the SPARQL translation of the shapes
   lint          statically analyze shapes graphs for contradictions and dead shapes
@@ -220,6 +226,128 @@ func cmdNeighborhood(args []string, whyNot bool) error {
 	conforms := shaclfrag.Conforms(g, h, focus, phi)
 	fmt.Printf("# focus %s conforms: %v; %d provenance triples\n", focus, conforms, len(triples))
 	fmt.Print(shaclfrag.FormatNTriples(triples))
+	return nil
+}
+
+// pickDefs returns the named definition (exact or suffix match) or, with
+// no name, every IRI-named definition in the schema — the auxiliary
+// blank-named property shapes the SHACL translation introduces are
+// reachable from those through hasShape and would only repeat themselves.
+func pickDefs(h *shaclfrag.Schema, name string) ([]shaclfrag.Definition, error) {
+	defs := h.Definitions()
+	if name == "" {
+		var named []shaclfrag.Definition
+		for _, d := range defs {
+			if d.Name.IsIRI() {
+				named = append(named, d)
+			}
+		}
+		if len(named) > 0 {
+			return named, nil
+		}
+		return defs, nil
+	}
+	for _, d := range defs {
+		if d.Name.Value == name || strings.HasSuffix(d.Name.Value, name) {
+			return []shaclfrag.Definition{d}, nil
+		}
+	}
+	return nil, fmt.Errorf("no shape named %q in the shapes graph", name)
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	dataPath := fs.String("data", "", "data graph (Turtle)")
+	shapesPath := fs.String("shapes", "", "shapes graph (Turtle)")
+	node := fs.String("node", "", "focus node IRI")
+	shapeName := fs.String("shape", "", "shape name (default: all shapes)")
+	diffName := fs.String("diff", "", "second shape name: print only the triples -shape pulls in over this one")
+	asJSON := fs.Bool("json", false, "emit JSON instead of annotated N-Triples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *node == "" {
+		return fmt.Errorf("-node is required")
+	}
+	g, err := loadGraph(*dataPath)
+	if err != nil {
+		return err
+	}
+	h, err := loadSchema(*shapesPath)
+	if err != nil {
+		return err
+	}
+	defs, err := pickDefs(h, *shapeName)
+	if err != nil {
+		return err
+	}
+	focus := rdf.NewIRI(strings.Trim(*node, "<>"))
+
+	type shapeStatus struct {
+		Name     string `json:"name"`
+		Conforms bool   `json:"conforms"`
+	}
+	x := core.NewExtractor(g, h)
+	ex := core.NewExplanation(g)
+	var statuses []shapeStatus
+	for _, d := range defs {
+		statuses = append(statuses, shapeStatus{
+			Name:     d.Name.String(),
+			Conforms: shaclfrag.Conforms(g, h, focus, d.Shape),
+		})
+		x.ExplainInto(ex, focus, d.Name, d.Shape)
+	}
+	annotated := ex.Annotated()
+
+	if *diffName != "" {
+		dd, err := pickDefs(h, *diffName)
+		if err != nil {
+			return err
+		}
+		other := core.NewExplanation(g)
+		for _, d := range dd {
+			x.ExplainInto(other, focus, d.Name, d.Shape)
+		}
+		annotated = shaclfrag.ExplainDiff(ex, other)
+	}
+
+	if *asJSON {
+		type jsonTriple struct {
+			S              string   `json:"s"`
+			P              string   `json:"p"`
+			O              string   `json:"o"`
+			Justifications []string `json:"justifications"`
+		}
+		out := struct {
+			Focus   string        `json:"focus"`
+			Shapes  []shapeStatus `json:"shapes"`
+			Triples []jsonTriple  `json:"triples"`
+		}{Focus: focus.String(), Shapes: statuses, Triples: []jsonTriple{}}
+		for _, at := range annotated {
+			out.Triples = append(out.Triples, jsonTriple{
+				S: at.Triple.S.String(), P: at.Triple.P.String(), O: at.Triple.O.String(),
+				Justifications: at.Rendered,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Printf("# focus %s; %d explained triples\n", focus, len(annotated))
+	for _, st := range statuses {
+		fmt.Printf("# shape %s conforms: %v\n", st.Name, st.Conforms)
+	}
+	if *diffName != "" {
+		fmt.Printf("# diff: triples not justified under %q\n", *diffName)
+	}
+	for _, at := range annotated {
+		fmt.Printf("%s %s %s .\n", at.Triple.S, at.Triple.P, at.Triple.O)
+		for _, r := range at.Rendered {
+			fmt.Printf("#   ⇐ %s\n", r)
+		}
+	}
 	return nil
 }
 

@@ -132,6 +132,91 @@ func TestCLIEndToEnd(t *testing.T) {
 	run(2, "nonsense")
 }
 
+// TestCLIExplainGolden locks the annotated-N-Triples and JSON renderings
+// of `shaclfrag explain` against the committed tourism example. The golden
+// files double as the walkthrough output quoted in the README, so a
+// rendering change must update both.
+func TestCLIExplainGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	data := filepath.Join("..", "..", "examples", "data", "tourism.ttl")
+	shapes := filepath.Join("..", "..", "examples", "shapes", "tourism.ttl")
+
+	cases := []struct {
+		golden string
+		args   []string
+	}{
+		{"alpenhof-hotel.golden", []string{
+			"-node", "http://tourism.example/alpenhof", "-shape", "HotelShape"}},
+		{"grandhotel-hotel.golden", []string{
+			"-node", "http://tourism.example/grandhotel", "-shape", "HotelShape"}},
+		{"seehof.json.golden", []string{
+			"-node", "http://tourism.example/seehof", "-json"}},
+	}
+	for _, tc := range cases {
+		args := append([]string{"explain", "-data", data, "-shapes", shapes}, tc.args...)
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		want, err := os.ReadFile(filepath.Join("..", "..", "examples", "explain", tc.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(want) {
+			t.Errorf("%s: output drifted from golden\n--- got ---\n%s--- want ---\n%s", tc.golden, out, want)
+		}
+	}
+}
+
+func TestCLIExplainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	data, shapes := writeInputs(t)
+
+	run := func(wantExit int, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%v: %v\n%s", args, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("%v: exit %d, want %d\n%s", args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	// The conforming paper: every neighborhood triple carries a rendered
+	// justification comment.
+	out := run(0, "explain", "-data", data, "-shapes", shapes,
+		"-node", "http://x/p1", "-shape", "WorkshopShape")
+	if !strings.Contains(out, "conforms: true") || !strings.Contains(out, "⇐") {
+		t.Errorf("explain output missing justifications: %s", out)
+	}
+	if !strings.Contains(out, "bob") || strings.Contains(out, "anne") {
+		t.Errorf("explain must cover exactly the p1 neighborhood: %s", out)
+	}
+
+	// Explaining a shape against itself leaves no diff.
+	out = run(0, "explain", "-data", data, "-shapes", shapes,
+		"-node", "http://x/p1", "-shape", "WorkshopShape", "-diff", "WorkshopShape")
+	if !strings.Contains(out, "0 explained triples") {
+		t.Errorf("self-diff should be empty: %s", out)
+	}
+
+	// Error paths: missing node, unknown shapes.
+	run(1, "explain", "-data", data, "-shapes", shapes)
+	run(1, "explain", "-data", data, "-shapes", shapes, "-node", "http://x/p1", "-shape", "Nope")
+	run(1, "explain", "-data", data, "-shapes", shapes, "-node", "http://x/p1", "-diff", "Nope")
+}
+
 func TestParsePatternUnit(t *testing.T) {
 	p, err := parsePattern(`?x <http://x/p> "lit"`)
 	if err != nil {

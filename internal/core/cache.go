@@ -155,8 +155,11 @@ func (c *NeighborhoodCache) Len() int {
 // serving from and filling cache when it is non-nil. For cache hits to
 // occur, φ must be the same Shape value across calls (see NeighborhoodCache
 // on key identity). The returned slice is shared and must not be modified.
+// An attached AttributionRecorder bypasses the cache both ways: a cached
+// neighborhood carries no justifications to replay, and attributed
+// extraction should not displace unattributed entries.
 func (x *Extractor) NeighborhoodIDsCached(cache *NeighborhoodCache, v rdfgraph.ID, phi shape.Shape) []rdfgraph.IDTriple {
-	if cache != nil {
+	if cache != nil && x.rec == nil {
 		if ts, ok := cache.Get(v, phi); ok {
 			return ts
 		}
@@ -164,7 +167,7 @@ func (x *Extractor) NeighborhoodIDsCached(cache *NeighborhoodCache, v rdfgraph.I
 	out := rdfgraph.NewIDTripleSet()
 	x.collect(v, x.nnf(phi), out, make(map[VisitKey]struct{}))
 	ts := out.IDTriples()
-	if cache != nil {
+	if cache != nil && x.rec == nil {
 		cache.Put(v, phi, ts)
 	}
 	return ts

@@ -53,6 +53,15 @@ type Extractor struct {
 	nnfCache map[shape.Shape]shape.Shape
 	// negCache memoizes NNF(¬φ) per shape identity.
 	negCache map[shape.Shape]shape.Shape
+
+	// rec, when non-nil, receives a Justification for every triple a
+	// Table 2 rule emits (see SetRecorder); nil keeps the hot path free
+	// of attribution work.
+	rec AttributionRecorder
+	// curName is the innermost named shape definition currently being
+	// collected, stamped into justifications. Maintained only while rec
+	// is attached.
+	curName rdf.Term
 }
 
 // NewExtractor returns an extractor for g in the context of defs (which may
@@ -144,6 +153,37 @@ func (x *Extractor) NeighborhoodInto(v rdfgraph.ID, phi shape.Shape, out *rdfgra
 	x.collect(v, x.nnf(phi), out, visited)
 }
 
+// put adds t to out; with a recorder attached it also records which
+// constraint emitted the triple at which focus node.
+func (x *Extractor) put(out *rdfgraph.IDTripleSet, t rdfgraph.IDTriple, v rdfgraph.ID, constraint shape.Shape, negated bool) {
+	out.Add(t)
+	if x.rec != nil {
+		x.rec.Record(t, Justification{
+			Shape: x.curName, Constraint: constraint, Negated: negated, Focus: v,
+		})
+	}
+}
+
+// addTrace unions graph(paths(E, G, v, targets)) into out. Without a
+// recorder this is the original TraceUnionIDs loop; with one it switches to
+// TraceEdges, so every traced triple carries the product-automaton step it
+// rides on. Both visit exactly the same triple set.
+func (x *Extractor) addTrace(pe *paths.Evaluator, v rdfgraph.ID, targets []rdfgraph.ID, constraint shape.Shape, negated bool, out *rdfgraph.IDTripleSet) {
+	if x.rec == nil {
+		for _, t := range pe.TraceUnionIDs(v, targets) {
+			out.Add(t)
+		}
+		return
+	}
+	pe.TraceEdges(v, targets, func(t rdfgraph.IDTriple, step paths.Step) {
+		out.Add(t)
+		x.rec.Record(t, Justification{
+			Shape: x.curName, Constraint: constraint, Negated: negated,
+			Focus: v, Step: step, HasStep: true,
+		})
+	})
+}
+
 // collect implements Table 2. phi must be in NNF; v must be interned.
 func (x *Extractor) collect(v rdfgraph.ID, phi shape.Shape, out *rdfgraph.IDTripleSet, visited map[VisitKey]struct{}) {
 	key := VisitKey{node: v, shape: phi}
@@ -166,6 +206,13 @@ func (x *Extractor) collect(v rdfgraph.ID, phi shape.Shape, out *rdfgraph.IDTrip
 		return
 
 	case *shape.HasShape:
+		if x.rec != nil {
+			prev := x.curName
+			x.curName = s.Name
+			x.collect(v, x.nnf(x.ev.Def(s.Name)), out, visited)
+			x.curName = prev
+			return
+		}
 		x.collect(v, x.nnf(x.ev.Def(s.Name)), out, visited)
 
 	case *shape.And:
@@ -189,9 +236,7 @@ func (x *Extractor) collect(v rdfgraph.ID, phi shape.Shape, out *rdfgraph.IDTrip
 				witnesses = append(witnesses, b)
 			}
 		}
-		for _, t := range pe.TraceUnionIDs(v, witnesses) {
-			out.Add(t)
-		}
+		x.addTrace(pe, v, witnesses, phi, false, out)
 		for _, b := range witnesses {
 			x.collect(b, s.X, out, visited)
 		}
@@ -206,9 +251,7 @@ func (x *Extractor) collect(v rdfgraph.ID, phi shape.Shape, out *rdfgraph.IDTrip
 				counterexamples = append(counterexamples, b)
 			}
 		}
-		for _, t := range pe.TraceUnionIDs(v, counterexamples) {
-			out.Add(t)
-		}
+		x.addTrace(pe, v, counterexamples, phi, false, out)
 		for _, b := range counterexamples {
 			x.collect(b, neg, out, visited)
 		}
@@ -217,9 +260,7 @@ func (x *Extractor) collect(v rdfgraph.ID, phi shape.Shape, out *rdfgraph.IDTrip
 		// ⋃ { graph(paths(E,G,v,x)) ∪ B(x,G,ψ) | x ∈ ⟦E⟧G(v) }
 		pe := x.ev.PathEval(s.Path)
 		all := pe.Eval(v)
-		for _, t := range pe.TraceUnionIDs(v, all) {
-			out.Add(t)
-		}
+		x.addTrace(pe, v, all, phi, false, out)
 		for _, b := range all {
 			x.collect(b, s.X, out, visited)
 		}
@@ -230,16 +271,14 @@ func (x *Extractor) collect(v rdfgraph.ID, phi shape.Shape, out *rdfgraph.IDTrip
 			// so p is always interned; the lookup keeps extraction free of
 			// dictionary writes (needed for concurrent workers).
 			if pid := g.LookupTerm(rdf.NewIRI(s.P)); pid != rdfgraph.NoID {
-				out.Add(rdfgraph.IDTriple{S: v, P: pid, O: v})
+				x.put(out, rdfgraph.IDTriple{S: v, P: pid, O: v}, v, phi, false)
 			}
 			return
 		}
 		// eq(E, p): ⋃ { graph(paths(E ∪ p, G, v, x)) | x ∈ ⟦E ∪ p⟧G(v) }
 		union := paths.Alt{Left: s.Path, Right: paths.P(s.P)}
 		pe := x.ev.PathEval(union)
-		for _, t := range pe.TraceUnionIDs(v, pe.Eval(v)) {
-			out.Add(t)
-		}
+		x.addTrace(pe, v, pe.Eval(v), phi, false, out)
 
 	case *shape.Not:
 		x.collectNegatedAtom(v, s.X, out, visited)
@@ -256,6 +295,13 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 	switch s := atom.(type) {
 	case *shape.HasShape:
 		// ¬hasShape(s) → B(v, G, nnf(¬def(s, H)))
+		if x.rec != nil {
+			prev := x.curName
+			x.curName = s.Name
+			x.collect(v, x.negNNF(x.ev.Def(s.Name)), out, visited)
+			x.curName = prev
+			return
+		}
 		x.collect(v, x.negNNF(x.ev.Def(s.Name)), out, visited)
 
 	case *shape.Eq:
@@ -270,7 +316,7 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 			// ¬eq(id, p): {(v, p, x) ∈ G | x ≠ v}
 			for _, o := range x.ev.PropValues(v, s.P) {
 				if o != v {
-					out.Add(rdfgraph.IDTriple{S: v, P: pid, O: o})
+					x.put(out, rdfgraph.IDTriple{S: v, P: pid, O: o}, v, atom, true)
 				}
 			}
 			return
@@ -294,12 +340,10 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 				witnesses = append(witnesses, b)
 			}
 		}
-		for _, t := range pe.TraceUnionIDs(v, witnesses) {
-			out.Add(t)
-		}
+		x.addTrace(pe, v, witnesses, atom, true, out)
 		for _, o := range pValues {
 			if _, inE := eSet[o]; !inE {
-				out.Add(rdfgraph.IDTriple{S: v, P: pid, O: o})
+				x.put(out, rdfgraph.IDTriple{S: v, P: pid, O: o}, v, atom, true)
 			}
 		}
 
@@ -310,7 +354,7 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 		}
 		if s.Path == nil {
 			// ¬disj(id, p): {(v, p, v)}
-			out.Add(rdfgraph.IDTriple{S: v, P: pid, O: v})
+			x.put(out, rdfgraph.IDTriple{S: v, P: pid, O: v}, v, atom, true)
 			return
 		}
 		// ¬disj(E, p): E-paths to common values x, plus the (v, p, x) edges.
@@ -326,25 +370,23 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 				common = append(common, b)
 			}
 		}
-		for _, t := range pe.TraceUnionIDs(v, common) {
-			out.Add(t)
-		}
+		x.addTrace(pe, v, common, atom, true, out)
 		for _, b := range common {
-			out.Add(rdfgraph.IDTriple{S: v, P: pid, O: b})
+			x.put(out, rdfgraph.IDTriple{S: v, P: pid, O: b}, v, atom, true)
 		}
 
 	case *shape.LessThan:
-		x.collectNegatedOrder(v, s.Path, s.P, rdf.Less, out)
+		x.collectNegatedOrder(v, s.Path, s.P, rdf.Less, atom, out)
 
 	case *shape.LessThanEq:
-		x.collectNegatedOrder(v, s.Path, s.P, rdf.LessEq, out)
+		x.collectNegatedOrder(v, s.Path, s.P, rdf.LessEq, atom, out)
 
 	case *shape.MoreThan:
 		// ¬moreThan: witness pairs (x, y) with ¬(y < x).
-		x.collectNegatedOrder(v, s.Path, s.P, func(b, y rdf.Term) bool { return rdf.Less(y, b) }, out)
+		x.collectNegatedOrder(v, s.Path, s.P, func(b, y rdf.Term) bool { return rdf.Less(y, b) }, atom, out)
 
 	case *shape.MoreThanEq:
-		x.collectNegatedOrder(v, s.Path, s.P, func(b, y rdf.Term) bool { return rdf.LessEq(y, b) }, out)
+		x.collectNegatedOrder(v, s.Path, s.P, func(b, y rdf.Term) bool { return rdf.LessEq(y, b) }, atom, out)
 
 	case *shape.UniqueLang:
 		// ¬uniqueLang(E): E-paths to every x that clashes with some y ≠ x.
@@ -363,16 +405,14 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 				clashing = append(clashing, group...)
 			}
 		}
-		for _, t := range pe.TraceUnionIDs(v, clashing) {
-			out.Add(t)
-		}
+		x.addTrace(pe, v, clashing, atom, true, out)
 
 	case *shape.Closed:
 		// ¬closed(P): {(v, p, x) ∈ G | p ∉ P}
 		g.PredicatesFrom(v, func(p, o rdfgraph.ID) {
 			iri := g.Term(p).Value
 			if !containsString(s.Allowed, iri) {
-				out.Add(rdfgraph.IDTriple{S: v, P: p, O: o})
+				x.put(out, rdfgraph.IDTriple{S: v, P: p, O: o}, v, atom, true)
 			}
 		})
 
@@ -387,7 +427,8 @@ func (x *Extractor) collectNegatedAtom(v rdfgraph.ID, atom shape.Shape, out *rdf
 
 // collectNegatedOrder handles ¬lessThan (cmp = Less) and ¬lessThanEq
 // (cmp = LessEq): E-paths to x plus p-edges (v,p,y) with ¬cmp(x, y).
-func (x *Extractor) collectNegatedOrder(v rdfgraph.ID, path paths.Expr, p string, cmp func(a, b rdf.Term) bool, out *rdfgraph.IDTripleSet) {
+// atom is the order shape under the negation, for attribution.
+func (x *Extractor) collectNegatedOrder(v rdfgraph.ID, path paths.Expr, p string, cmp func(a, b rdf.Term) bool, atom shape.Shape, out *rdfgraph.IDTripleSet) {
 	g := x.ev.G
 	pid := g.LookupTerm(rdf.NewIRI(p))
 	if pid == rdfgraph.NoID {
@@ -401,7 +442,7 @@ func (x *Extractor) collectNegatedOrder(v rdfgraph.ID, path paths.Expr, p string
 		witness := false
 		for _, y := range pValues {
 			if !cmp(bt, g.Term(y)) {
-				out.Add(rdfgraph.IDTriple{S: v, P: pid, O: y})
+				x.put(out, rdfgraph.IDTriple{S: v, P: pid, O: y}, v, atom, true)
 				witness = true
 			}
 		}
@@ -409,9 +450,7 @@ func (x *Extractor) collectNegatedOrder(v rdfgraph.ID, path paths.Expr, p string
 			witnesses = append(witnesses, b)
 		}
 	}
-	for _, t := range pe.TraceUnionIDs(v, witnesses) {
-		out.Add(t)
-	}
+	x.addTrace(pe, v, witnesses, atom, true, out)
 }
 
 func containsString(sorted []string, s string) bool {

@@ -35,6 +35,14 @@ type ParallelOptions struct {
 	// sub-stage attribution reaches Server-Timing headers, access logs
 	// and the stage-latency histograms.
 	Tracer obs.Tracer
+	// Recorder, when non-nil, receives a (triple, justification) record for
+	// every Table 2 emission — typically an *Explanation. It is shared
+	// across workers, so it must be safe for concurrent use (Explanation
+	// is). A nil recorder keeps the hot path free of attribution work and
+	// the output byte-identical to the unattributed algorithm. A non-nil
+	// recorder bypasses Cache (cached neighborhoods carry no
+	// justifications).
+	Recorder AttributionRecorder
 }
 
 // startStage begins timing one sub-stage against an optional tracer,
@@ -96,6 +104,7 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 		go func() {
 			defer wg.Done()
 			wx := NewExtractor(g, x.ev.Defs)
+			wx.rec = opts.Recorder
 			visited := make(map[VisitKey]struct{})
 			for {
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
@@ -139,6 +148,11 @@ func (x *Extractor) FragmentSchemaParallel(h *schema.Schema, opts ParallelOption
 // fragmentSerial is the one-worker path, run on the calling extractor so
 // its evaluator caches keep accumulating across calls.
 func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, nodes []rdfgraph.ID, opts ParallelOptions) ([]rdf.Triple, error) {
+	if opts.Recorder != nil {
+		prev := x.rec
+		x.rec = opts.Recorder
+		defer func() { x.rec = prev }()
+	}
 	out := rdfgraph.NewIDTripleSet()
 	visited := make(map[VisitKey]struct{})
 	for i := range requests {
@@ -156,7 +170,9 @@ func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, n
 // computes isolated per-node neighborhoods — the unit the cache stores —
 // while still sharing this extractor's conformance and path caches.
 func (x *Extractor) extractRange(request, nnf shape.Shape, nodes []rdfgraph.ID, out *rdfgraph.IDTripleSet, visited map[VisitKey]struct{}, cache *NeighborhoodCache) {
-	if cache == nil {
+	// A cached neighborhood carries no justifications, so an attached
+	// recorder bypasses the cache: attribution always re-derives.
+	if cache == nil || x.rec != nil {
 		for _, v := range nodes {
 			x.collect(v, nnf, out, visited)
 		}

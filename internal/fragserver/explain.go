@@ -1,0 +1,214 @@
+package fragserver
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/obs"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+)
+
+// Wire types for the /explain JSON response. Terms are rendered in
+// N-Triples concrete syntax (<iri>, _:label, "literal"^^<dt>), matching the
+// N-Triples bodies the other routes stream.
+
+type explainStep struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Pred string `json:"pred"`
+	Fwd  bool   `json:"fwd"`
+}
+
+type explainJustification struct {
+	Shape      string       `json:"shape,omitempty"`
+	Constraint string       `json:"constraint"`
+	Kind       string       `json:"kind"`
+	Negated    bool         `json:"negated,omitempty"`
+	Focus      string       `json:"focus"`
+	Step       *explainStep `json:"step,omitempty"`
+}
+
+type explainTriple struct {
+	S              string                 `json:"s"`
+	P              string                 `json:"p"`
+	O              string                 `json:"o"`
+	Justifications []explainJustification `json:"justifications"`
+}
+
+type explainShapeStatus struct {
+	Name     string `json:"name"`
+	Conforms *bool  `json:"conforms,omitempty"` // omitted when the focus term is unknown
+}
+
+type explainResponse struct {
+	Focus   string               `json:"focus"`
+	Shapes  []explainShapeStatus `json:"shapes"`
+	Triples []explainTriple      `json:"triples"`
+}
+
+// handleExplain serves GET /explain?iri=<term>[&shape=<name>]: the
+// neighborhood of the node for the named definition (or all definitions),
+// annotated per triple with the Table 2 justifications that pulled it in.
+// The route shares the in-flight limiter and request timeout with every
+// other route; Config.DisableExplain turns it off entirely.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if s.explainOff {
+		http.Error(w, "explain is disabled on this server", http.StatusNotFound)
+		return
+	}
+	tr := obs.FromContext(r.Context())
+	q := r.URL.Query()
+	rawIRI := q.Get("iri")
+	if rawIRI == "" {
+		http.Error(w, "missing iri parameter", http.StatusBadRequest)
+		return
+	}
+	stopParse := tr.Start("parse")
+	focus, err := parseTermParam(rawIRI)
+	stopParse()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	stopTarget := tr.Start("target")
+	defs := s.h.Definitions()
+	if name := q.Get("shape"); name != "" {
+		i, ok := s.defIndex(name)
+		if !ok {
+			stopTarget()
+			http.Error(w, "unknown or ambiguous shape "+name, http.StatusNotFound)
+			return
+		}
+		defs = defs[i : i+1]
+	} else {
+		// Default to the IRI-named definitions: the auxiliary blank-named
+		// property shapes a SHACL translation introduces are reachable from
+		// those through hasShape and would only repeat themselves.
+		var named []schema.Definition
+		for _, d := range defs {
+			if d.Name.IsIRI() {
+				named = append(named, d)
+			}
+		}
+		if len(named) > 0 {
+			defs = named
+		}
+	}
+	id := s.g.LookupTerm(focus)
+	stopTarget()
+
+	resp := explainResponse{Focus: focus.String(), Triples: []explainTriple{}}
+	x := s.acquire()
+	defer s.release(x)
+	stopExtract := tr.Start("extract")
+	ex := core.NewExplanation(s.g)
+	for _, d := range defs {
+		status := explainShapeStatus{Name: d.Name.String()}
+		if id != rdfgraph.NoID {
+			if r.Context().Err() != nil {
+				stopExtract()
+				httpTimeoutError(w, r, r.Context().Err())
+				return
+			}
+			conforms := x.Evaluator().Conforms(id, d.Shape)
+			status.Conforms = &conforms
+			x.ExplainInto(ex, focus, d.Name, d.Shape)
+		}
+		resp.Shapes = append(resp.Shapes, status)
+	}
+	stopExtract()
+
+	var justifications int
+	for _, at := range ex.Annotated() {
+		et := explainTriple{
+			S: at.Triple.S.String(), P: at.Triple.P.String(), O: at.Triple.O.String(),
+			Justifications: make([]explainJustification, 0, len(at.Justifications)),
+		}
+		for _, j := range at.Justifications {
+			ej := explainJustification{
+				Constraint: j.Constraint.String(),
+				Kind:       j.Kind(),
+				Negated:    j.Negated,
+				Focus:      s.g.Term(j.Focus).String(),
+			}
+			if j.Shape != (rdf.Term{}) {
+				ej.Shape = j.Shape.String()
+			}
+			if j.HasStep {
+				ej.Step = &explainStep{
+					From: j.Step.From, To: j.Step.To,
+					Pred: s.g.Term(j.Step.Pred).String(), Fwd: j.Step.Fwd,
+				}
+			}
+			et.Justifications = append(et.Justifications, ej)
+			justifications++
+		}
+		resp.Triples = append(resp.Triples, et)
+	}
+	s.metrics.explainTriples.Add(uint64(len(resp.Triples)))
+	s.metrics.explainJust.Add(uint64(justifications))
+
+	stopSerialize := tr.Start("serialize")
+	defer stopSerialize()
+	if st := tr.ServerTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp) //nolint:errcheck — nothing to do about a failed write
+}
+
+// sampleAttribution implements Config.AttributionSample: it returns the
+// shared tally recorder for every Nth extraction request and nil otherwise.
+// Sampled extractions bypass the neighborhood cache (attribution must
+// re-derive), so N trades justification telemetry against cache hit rate.
+func (s *Server) sampleAttribution() core.AttributionRecorder {
+	if s.sampleN <= 0 {
+		return nil
+	}
+	if s.sampleCount.Add(1)%uint64(s.sampleN) != 0 {
+		return nil
+	}
+	s.metrics.sampled.Inc()
+	return s.metrics.tally
+}
+
+// tallyRecorder is the sampling AttributionRecorder: instead of retaining
+// justifications it bumps one counter per constraint kind, giving operators
+// a running profile of *which* Table 2 rules account for served triples.
+// All counters are pre-created, so Record touches only atomics; shape
+// strings are never rendered on this path.
+type tallyRecorder struct {
+	total  *obs.Counter
+	byKind map[string]*obs.Counter
+}
+
+func newTallyRecorder(reg *obs.Registry) *tallyRecorder {
+	t := &tallyRecorder{
+		total: reg.Counter(mAttrJustTotal,
+			"Justifications recorded by sampled attribution, total."),
+		byKind: make(map[string]*obs.Counter, len(core.ConstraintKinds)),
+	}
+	for _, k := range core.ConstraintKinds {
+		t.byKind[k] = reg.Counter(mAttrJustByKind,
+			"Justifications recorded by sampled attribution, by constraint kind.",
+			obs.L("constraint", k))
+	}
+	return t
+}
+
+// Record implements core.AttributionRecorder.
+func (t *tallyRecorder) Record(_ rdfgraph.IDTriple, j core.Justification) {
+	t.total.Inc()
+	if c, ok := t.byKind[j.Kind()]; ok {
+		c.Inc()
+	}
+}
+
+var _ core.AttributionRecorder = (*tallyRecorder)(nil)

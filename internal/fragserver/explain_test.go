@@ -1,0 +1,199 @@
+package fragserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/turtle"
+)
+
+// newExplainServer builds a server over a tiny hand-written graph whose
+// explanations are fully predictable: p1 conforms to WorkshopShape (author
+// bob, a student), p2 does not (author anne, a professor).
+func newExplainServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	g, err := turtle.Parse(`
+@prefix ex: <http://x/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:p1 rdf:type ex:Paper ; ex:author ex:bob .
+ex:p2 rdf:type ex:Paper ; ex:author ex:anne .
+ex:bob rdf:type ex:Student .
+ex:anne rdf:type ex:Professor .
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := schema.MustNew(schema.Definition{
+		Name: rdf.NewIRI("http://x/WorkshopShape"),
+		Shape: shape.Min(1, paths.P("http://x/author"),
+			shape.Min(1, paths.P(rdf.RDFType), shape.Value(rdf.NewIRI("http://x/Student")))),
+		Target: schema.TargetClass(rdf.NewIRI("http://x/Paper")),
+	})
+	cfg.Graph, cfg.Schema, cfg.Logger = g, h, quietLogger()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getExplain(t *testing.T, ts *httptest.Server, query string) (*http.Response, explainResponse) {
+	t.Helper()
+	resp, body := get(t, ts, "/explain?"+query)
+	var er explainResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal([]byte(body), &er); err != nil {
+			t.Fatalf("bad /explain JSON: %v\n%s", err, body)
+		}
+	}
+	return resp, er
+}
+
+func TestHandleExplain(t *testing.T) {
+	_, ts := newExplainServer(t, Config{})
+	resp, er := getExplain(t, ts, "iri="+url.QueryEscape("http://x/p1")+"&shape=WorkshopShape")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /explain: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if len(er.Shapes) != 1 || er.Shapes[0].Conforms == nil || !*er.Shapes[0].Conforms {
+		t.Fatalf("shape status = %+v, want conforming WorkshopShape", er.Shapes)
+	}
+	// B(p1, WorkshopShape) = {(p1 author bob), (bob type Student)}, each
+	// justified by a minCount rule firing with a path step.
+	if len(er.Triples) != 2 {
+		t.Fatalf("explained %d triples, want 2: %+v", len(er.Triples), er.Triples)
+	}
+	for _, et := range er.Triples {
+		if len(et.Justifications) == 0 {
+			t.Fatalf("triple %s %s %s has no justifications", et.S, et.P, et.O)
+		}
+		j := et.Justifications[0]
+		if j.Kind != "minCount" || j.Shape != "<http://x/WorkshopShape>" {
+			t.Errorf("justification = %+v, want minCount under WorkshopShape", j)
+		}
+		if j.Step == nil || j.Step.Pred == "" {
+			t.Errorf("path-traced justification missing its step: %+v", j)
+		}
+	}
+	// The author triple's justification fires at p1.
+	var authorJust *explainJustification
+	for i := range er.Triples {
+		if er.Triples[i].P == "<http://x/author>" {
+			authorJust = &er.Triples[i].Justifications[0]
+		}
+	}
+	if authorJust == nil || authorJust.Focus != "<http://x/p1>" {
+		t.Errorf("author triple justification = %+v, want focus p1", authorJust)
+	}
+
+	// Non-conforming node: conforms=false and an empty neighborhood.
+	_, er = getExplain(t, ts, "iri="+url.QueryEscape("http://x/p2"))
+	if len(er.Shapes) != 1 || er.Shapes[0].Conforms == nil || *er.Shapes[0].Conforms {
+		t.Fatalf("p2 should not conform: %+v", er.Shapes)
+	}
+	if len(er.Triples) != 0 {
+		t.Errorf("non-conforming node explained %d triples, want 0", len(er.Triples))
+	}
+
+	// A term the graph has never seen: 200, no conforms claim, no triples.
+	resp, er = getExplain(t, ts, "iri="+url.QueryEscape("<http://x/ghost>"))
+	if resp.StatusCode != http.StatusOK || len(er.Triples) != 0 {
+		t.Fatalf("ghost node: status %d, %d triples", resp.StatusCode, len(er.Triples))
+	}
+	if len(er.Shapes) != 1 || er.Shapes[0].Conforms != nil {
+		t.Errorf("ghost node must omit conforms: %+v", er.Shapes)
+	}
+
+	// Error paths: missing iri, malformed iri, unknown shape.
+	if resp, _ := get(t, ts, "/explain"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing iri: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/explain?iri="+url.QueryEscape("<oops")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed iri: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/explain?iri="+url.QueryEscape("http://x/p1")+"&shape=Nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown shape: %d, want 404", resp.StatusCode)
+	}
+
+	// The /explain volume counters moved.
+	_, metrics := get(t, ts, "/metrics")
+	if !strings.Contains(metrics, "fragserver_explain_triples_total 2") {
+		t.Error("/metrics missing the explain triple counter")
+	}
+	if !strings.Contains(metrics, "fragserver_explain_justifications_total") {
+		t.Error("/metrics missing the explain justification counter")
+	}
+	// /explain is a first-class route label.
+	if !strings.Contains(metrics, `fragserver_requests_total{route="/explain"`) {
+		t.Error("/metrics missing the /explain route series")
+	}
+}
+
+func TestExplainDisabled(t *testing.T) {
+	_, ts := newExplainServer(t, Config{DisableExplain: true})
+	resp, body := get(t, ts, "/explain?iri="+url.QueryEscape("http://x/p1"))
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, "disabled") {
+		t.Errorf("disabled /explain: status %d body %q", resp.StatusCode, body)
+	}
+	// The rest of the server is unaffected.
+	if resp, _ := get(t, ts, "/fragment"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/fragment while explain disabled: %d", resp.StatusCode)
+	}
+}
+
+// TestAttributionSampling: with 1-in-1 sampling every /node and /fragment
+// extraction feeds the tally recorder, the sampled counter moves, the
+// per-kind series appear, served bytes stay identical, and the
+// neighborhood cache is bypassed (zero hits and misses).
+func TestAttributionSampling(t *testing.T) {
+	srv, ts := newExplainServer(t, Config{AttributionSample: 1})
+	unsampledSrv, unsampledTS := newExplainServer(t, Config{})
+
+	for _, path := range []string{
+		"/node?iri=" + url.QueryEscape("http://x/p1") + "&shape=WorkshopShape",
+		"/fragment",
+	} {
+		resp, body := get(t, ts, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		_, want := get(t, unsampledTS, path)
+		if body != want {
+			t.Errorf("%s: sampled output differs from unsampled", path)
+		}
+	}
+
+	_, metrics := get(t, ts, "/metrics")
+	if !strings.Contains(metrics, "fragserver_attribution_sampled_total 2") {
+		t.Error("sampled counter should count both extraction requests")
+	}
+	if !strings.Contains(metrics, `fragserver_attribution_justifications_by_kind_total{constraint="minCount"}`) {
+		t.Error("per-kind justification series missing")
+	}
+	if !strings.Contains(metrics, "fragserver_attribution_justifications_total") {
+		t.Error("total justification series missing")
+	}
+	if st := srv.cache.Stats(); st.Hits+st.Misses != 0 {
+		t.Errorf("sampled extraction must bypass the cache: %+v", st)
+	}
+	_ = unsampledSrv
+
+	// Without sampling the series are absent, not zero.
+	_, metrics = get(t, unsampledTS, "/metrics")
+	if strings.Contains(metrics, "fragserver_attribution_") {
+		t.Error("attribution series must be absent when sampling is off")
+	}
+}

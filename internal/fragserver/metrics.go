@@ -18,13 +18,18 @@ const (
 	mInflight        = "fragserver_inflight_requests"
 	mShedTotal       = "fragserver_requests_shed_total"
 	mLintFindings    = "fragserver_schema_lint_findings"
+	mExplainTriples  = "fragserver_explain_triples_total"
+	mExplainJust     = "fragserver_explain_justifications_total"
+	mAttrSampled     = "fragserver_attribution_sampled_total"
+	mAttrJustTotal   = "fragserver_attribution_justifications_total"
+	mAttrJustByKind  = "fragserver_attribution_justifications_by_kind_total"
 )
 
 // routeNames are the label values for the route label; requests outside
 // the mux's route set are folded into "other" so label cardinality stays
 // bounded no matter what paths clients probe.
 var routeNames = []string{
-	"/validate", "/fragment", "/node", "/tpf",
+	"/validate", "/fragment", "/node", "/explain", "/tpf",
 	"/healthz", "/readyz", "/stats", "/metrics",
 }
 
@@ -55,6 +60,12 @@ type serverMetrics struct {
 	stages    map[string]*obs.Histogram // per stage
 	inflight  *obs.Gauge
 	shed      *obs.Counter
+
+	// /explain volume and the attribution sampler's tallies.
+	explainTriples *obs.Counter
+	explainJust    *obs.Counter
+	sampled        *obs.Counter
+	tally          *tallyRecorder // nil unless Config.AttributionSample > 0
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -78,6 +89,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 	}
 	m.inflight = reg.Gauge(mInflight, "Requests currently being served.")
 	m.shed = reg.Counter(mShedTotal, "Requests rejected with 503 by the in-flight limiter.")
+	m.explainTriples = reg.Counter(mExplainTriples,
+		"Triples returned by /explain responses.")
+	m.explainJust = reg.Counter(mExplainJust,
+		"Justifications returned by /explain responses.")
+	// The sampler's series exist only when sampling is configured; their
+	// absence tells a scrape the feature is off rather than idle.
+	if s.sampleN > 0 {
+		m.sampled = reg.Counter(mAttrSampled,
+			"Extraction requests that ran with the sampling attribution recorder.")
+		m.tally = newTallyRecorder(reg)
+	}
 
 	// Serving-state and workload gauges are sampled at scrape time from
 	// the server's own structures — no double bookkeeping.

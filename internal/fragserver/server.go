@@ -8,6 +8,8 @@
 //	GET /fragment                — Frag(G, H), the whole schema fragment
 //	GET /fragment?shape=<name>   — the fragment of one definition (φ ∧ τ)
 //	GET /node?iri=<t>[&shape=]   — the neighborhood B(v, G, φ) of one node
+//	GET /explain?iri=<t>[&shape=]— that neighborhood with per-triple
+//	                               justifications (JSON; see handleExplain)
 //	GET /tpf?s=&p=&o=            — a triple pattern fragment
 //	GET /healthz, GET /readyz    — process liveness; readiness (503 on drain)
 //	GET /stats, GET /metrics     — human-readable stats; Prometheus text
@@ -90,6 +92,17 @@ type Config struct {
 	// bug behind per-request work. Warnings never block startup; they are
 	// logged and exported on /metrics either way.
 	AllowLintErrors bool
+	// DisableExplain turns the /explain route off (it answers 404). The
+	// unattributed routes are unaffected either way: with /explain enabled
+	// but unused, extraction runs the exact unattributed hot path.
+	DisableExplain bool
+	// AttributionSample, when N > 0, runs every Nth /fragment and /node
+	// extraction with a counting attribution recorder, populating the
+	// fragserver_attribution_* series with which constraint kinds account
+	// for served triples. Sampled extractions bypass the neighborhood
+	// cache, so small N trades cache hit rate for telemetry; 0 disables
+	// sampling entirely (the default — zero overhead).
+	AttributionSample int
 }
 
 // Server serves shape fragments over HTTP. Create with New; the handler
@@ -115,6 +128,10 @@ type Server struct {
 	started  time.Time
 	metrics  *serverMetrics
 	draining atomic.Bool // set when graceful shutdown begins; read by /readyz
+
+	explainOff  bool
+	sampleN     int
+	sampleCount atomic.Uint64 // requests seen by the attribution sampler
 }
 
 // New builds a server over g and h. The graph's dictionary is warmed with
@@ -178,6 +195,9 @@ func New(cfg Config) (*Server, error) {
 		pool:     make(chan *core.Extractor, maxInflight),
 		requests: core.SchemaRequests(cfg.Schema),
 		started:  time.Now(),
+
+		explainOff: cfg.DisableExplain,
+		sampleN:    cfg.AttributionSample,
 	}
 	s.metrics = newServerMetrics(s)
 	s.handler = s.withObs(s.withLimit(s.withTimeout(s.routes())))
@@ -253,6 +273,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /validate", s.handleValidate)
 	mux.HandleFunc("GET /fragment", s.handleFragment)
 	mux.HandleFunc("GET /node", s.handleNode)
+	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /tpf", s.handleTPF)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
@@ -341,10 +362,11 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 	defer s.release(x)
 	stopExtract := tr.Start("extract")
 	triples, err := x.FragmentParallel(requests, core.ParallelOptions{
-		Workers: s.workers,
-		Cache:   s.cache,
-		Ctx:     r.Context(),
-		Tracer:  tr,
+		Workers:  s.workers,
+		Cache:    s.cache,
+		Ctx:      r.Context(),
+		Tracer:   tr,
+		Recorder: s.sampleAttribution(),
 	})
 	stopExtract()
 	if err != nil {
@@ -398,6 +420,12 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	}
 	x := s.acquire()
 	defer s.release(x)
+	if rec := s.sampleAttribution(); rec != nil {
+		// Sampled requests re-derive with attribution; the recorder makes
+		// NeighborhoodIDsCached bypass the cache. Reset before pooling.
+		x.SetRecorder(rec)
+		defer x.SetRecorder(nil)
+	}
 	stopExtract := tr.Start("extract")
 	out := rdfgraph.NewIDTripleSet()
 	for _, phi := range shapes {

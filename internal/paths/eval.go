@@ -163,10 +163,22 @@ func (ev *Evaluator) forward(a rdfgraph.ID) map[productState]struct{} {
 
 // productEdge is one edge of the product of the NFA with the graph,
 // restricted to a forward-reachable set, remembering the graph triple it
-// rides on.
+// rides on and the step direction of the NFA transition it instantiates.
 type productEdge struct {
 	from, to productState
 	triple   rdfgraph.IDTriple
+	fwd      bool
+}
+
+// Step identifies one product-automaton transition a traced triple rides
+// on: the NFA states it connects, the predicate consumed, and the step
+// direction (forward subject→object, or backward through an inverse).
+// The atomic fast path (a bare property or its inverse) reports the
+// two-state automaton {0 → 1} it is equivalent to.
+type Step struct {
+	From, To int
+	Pred     rdfgraph.ID
+	Fwd      bool
 }
 
 // backwardTrace emits the graph triple underlying every product edge that
@@ -176,7 +188,7 @@ type productEdge struct {
 // that set, never the global fan-in of a hub node — and then runs a
 // backward search from the accepting target states over the materialized
 // reverse adjacency.
-func (ev *Evaluator) backwardTrace(targets []rdfgraph.ID, within map[productState]struct{}, emit func(rdfgraph.IDTriple)) {
+func (ev *Evaluator) backwardTrace(targets []rdfgraph.ID, within map[productState]struct{}, emit func(productEdge)) {
 	n := ev.nfa
 	// Materialize product edges inside the forward set.
 	edges := ev.edgeScratch[:0]
@@ -194,6 +206,7 @@ func (ev *Evaluator) backwardTrace(targets []rdfgraph.ID, within map[productStat
 						edges = append(edges, productEdge{
 							from: ps, to: head,
 							triple: rdfgraph.IDTriple{S: ps.node, P: t.pred, O: o},
+							fwd:    true,
 						})
 					}
 				})
@@ -206,6 +219,7 @@ func (ev *Evaluator) backwardTrace(targets []rdfgraph.ID, within map[productStat
 							from: ps, to: head,
 							triple: rdfgraph.IDTriple{S: s, P: t.pred, O: ps.node},
 						})
+						// fwd stays false: the edge consumes an inverse step.
 					}
 				})
 			}
@@ -241,7 +255,7 @@ func (ev *Evaluator) backwardTrace(targets []rdfgraph.ID, within map[productStat
 		}
 		for _, ei := range revAdj[ps] {
 			e := edges[ei]
-			emit(e.triple)
+			emit(e)
 			push(e.from)
 		}
 	}
@@ -274,14 +288,56 @@ func (ev *Evaluator) TraceUnionIDs(a rdfgraph.ID, targets []rdfgraph.ID) []rdfgr
 	}
 	fwd := ev.cachedForward(a)
 	set := make(map[rdfgraph.IDTriple]struct{})
-	ev.backwardTrace(targets, fwd, func(t rdfgraph.IDTriple) {
-		set[t] = struct{}{}
+	ev.backwardTrace(targets, fwd, func(e productEdge) {
+		set[e.triple] = struct{}{}
 	})
 	out := make([]rdfgraph.IDTriple, 0, len(set))
 	for t := range set {
 		out = append(out, t)
 	}
 	return out
+}
+
+// TraceEdges is TraceUnionIDs with attribution: fn receives every traced
+// triple together with the product-automaton Step it rides on. A triple on
+// several accepting walks is reported once per distinct step; dedup across
+// steps is the caller's concern. The triple set visited is exactly the one
+// TraceUnionIDs returns for the same (a, targets).
+func (ev *Evaluator) TraceEdges(a rdfgraph.ID, targets []rdfgraph.ID, fn func(t rdfgraph.IDTriple, step Step)) {
+	if len(targets) == 0 {
+		return
+	}
+	if ev.atomic {
+		if ev.atomicID == rdfgraph.NoID {
+			return
+		}
+		step := Step{From: 0, To: 1, Pred: ev.atomicID, Fwd: ev.atomicFwd}
+		for _, b := range targets {
+			if ev.atomicFwd {
+				if ev.g.HasIDs(a, ev.atomicID, b) {
+					fn(rdfgraph.IDTriple{S: a, P: ev.atomicID, O: b}, step)
+				}
+			} else if ev.g.HasIDs(b, ev.atomicID, a) {
+				fn(rdfgraph.IDTriple{S: b, P: ev.atomicID, O: a}, step)
+			}
+		}
+		return
+	}
+	fwd := ev.cachedForward(a)
+	type edgeKey struct {
+		t rdfgraph.IDTriple
+		s Step
+	}
+	seen := make(map[edgeKey]struct{})
+	ev.backwardTrace(targets, fwd, func(e productEdge) {
+		step := Step{From: e.from.state, To: e.to.state, Pred: e.triple.P, Fwd: e.fwd}
+		k := edgeKey{t: e.triple, s: step}
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		fn(e.triple, step)
+	})
 }
 
 // TraceUnion is TraceUnionIDs decoded to terms and canonically sorted.

@@ -53,4 +53,21 @@ for f in examples/lint/*.ttl; do
     fi
 done
 
+echo "== shaclfrag explain goldens"
+# The tourism walkthrough quoted in the README must keep matching the
+# committed goldens byte-for-byte (rendering and blank-node labels alike).
+explain() {
+    "$bin" explain -data examples/data/tourism.ttl \
+        -shapes examples/shapes/tourism.ttl "$@"
+}
+explain -node http://tourism.example/alpenhof -shape HotelShape \
+    | diff -u examples/explain/alpenhof-hotel.golden -
+explain -node http://tourism.example/grandhotel -shape HotelShape \
+    | diff -u examples/explain/grandhotel-hotel.golden -
+explain -node http://tourism.example/seehof -json \
+    | diff -u examples/explain/seehof.json.golden -
+
+echo "== benchjson smoke"
+$GO run ./cmd/benchjson -smoke -bench 'Fig|Tab'
+
 echo "check: OK"

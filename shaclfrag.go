@@ -224,6 +224,32 @@ func FragmentSchema(g *Graph, h *Schema) []Triple {
 	return core.FragmentSchema(g, h)
 }
 
+// Provenance attribution: per-triple explain traces.
+type (
+	// Explanation maps each neighborhood triple to the ordered list of
+	// justifications (Table 2 rule firings) that pulled it in.
+	Explanation = core.Explanation
+	// AnnotatedTriple pairs a triple with its justifications, rendered
+	// deterministically.
+	AnnotatedTriple = core.AnnotatedTriple
+	// Justification records one Table 2 rule firing: shape, constraint,
+	// focus node and (for path-traced triples) the automaton step.
+	Justification = core.Justification
+)
+
+// Explain computes B(v, G, φ) with attribution: the result holds exactly
+// the neighborhood's triples, each annotated with every rule firing that
+// emitted it. Justifications carry shape-definition names when extraction
+// recurses through hasShape atoms.
+func Explain(g *Graph, h *Schema, v Term, phi Shape) *Explanation {
+	return core.NewExtractor(g, defsOrNil(h)).Explain(v, rdf.Term{}, phi)
+}
+
+// ExplainDiff reports the triples present in a but absent from b, each
+// with a's justifications — which constraints account for one fragment's
+// extra triples over another's. Both must be computed over the same graph.
+func ExplainDiff(a, b *Explanation) []AnnotatedTriple { return core.ExplainDiff(a, b) }
+
 // defsOrNil avoids a typed-nil Defs interface when no schema is given.
 func defsOrNil(h *Schema) shape.Defs {
 	if h == nil {
