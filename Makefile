@@ -43,10 +43,11 @@ bench-parallel:
 	$(GO) test -bench FragmentParallel -benchmem -run NONE .
 
 # Machine-readable benchmark trajectory: runs the paper's Fig1–Fig3 and
-# table benchmarks and writes bench/BENCH_<n>.json (name, ns/op, B/op,
-# allocs/op, git SHA) with <n> one past the last snapshot.
+# table benchmarks and writes repo-root BENCH_<n>.json (name, ns/op, B/op,
+# allocs/op, git SHA) with <n> one past the last snapshot — the same
+# location `make check` asserts is non-empty.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench 'Fig|Tab' -benchtime 2s -dir bench
+	$(GO) run ./cmd/benchjson -bench 'Fig|Tab' -benchtime 2s -dir .
 
 # The same suite at one iteration each: proves the benchmarks compile and
 # the parser still reads their output, writes nothing. Part of `make check`.

@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	benchjson [-bench <regexp>] [-benchtime 2s] [-count 1] [-pkg .] [-dir bench]
+//	benchjson [-bench <regexp>] [-benchtime 2s] [-count 1] [-pkg .] [-dir .]
 //	benchjson -smoke [-bench <regexp>]
 //
 // It shells out to `go test -run ^$ -bench ... -benchmem`, parses the
-// standard benchmark output, and writes BENCH_<n>.json into -dir, where
-// <n> is one past the highest existing snapshot index. Each snapshot
+// standard benchmark output, and writes BENCH_<n>.json into -dir (the
+// repository root by default — the same place the trajectory is read
+// from), where <n> is one past the highest existing snapshot index,
+// starting at 1. Each snapshot
 // carries the git SHA, the Go version, the benchtime, and per-benchmark
 // name, iterations, ns/op, B/op and allocs/op.
 //
@@ -58,7 +60,7 @@ func main() {
 	benchtime := flag.String("benchtime", "2s", "per-benchmark budget, as for go test -benchtime")
 	count := flag.Int("count", 1, "runs per benchmark, as for go test -count")
 	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
-	dir := flag.String("dir", "bench", "output directory for BENCH_<n>.json snapshots")
+	dir := flag.String("dir", ".", "output directory for BENCH_<n>.json snapshots (default: repo root, where the trajectory is read)")
 	smoke := flag.Bool("smoke", false, "run each benchmark once, verify the output parses, write nothing")
 	flag.Parse()
 
@@ -158,10 +160,11 @@ func gitSHA() string {
 }
 
 // nextIndex returns one past the highest BENCH_<n>.json index in dir, so
-// snapshots order by filename into a trajectory.
+// snapshots order by filename into a trajectory. The first snapshot is
+// BENCH_1.json.
 func nextIndex(dir string) int {
 	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
-	next := 0
+	next := 1
 	for _, m := range matches {
 		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
 		if n, err := strconv.Atoi(base); err == nil && n >= next {

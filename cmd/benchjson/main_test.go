@@ -48,22 +48,22 @@ func TestParseBenchOutput(t *testing.T) {
 
 func TestSnapshotIndexing(t *testing.T) {
 	dir := t.TempDir()
-	if n := nextIndex(dir); n != 0 {
-		t.Fatalf("empty dir index = %d, want 0", n)
+	if n := nextIndex(dir); n != 1 {
+		t.Fatalf("empty dir index = %d, want 1", n)
 	}
 	snap := Snapshot{GitSHA: "abc", Results: parseBenchOutput(sampleOutput)}
 	p0, err := writeSnapshot(dir, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if filepath.Base(p0) != "BENCH_0.json" {
+	if filepath.Base(p0) != "BENCH_1.json" {
 		t.Errorf("first snapshot at %s", p0)
 	}
 	p1, err := writeSnapshot(dir, snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if filepath.Base(p1) != "BENCH_1.json" {
+	if filepath.Base(p1) != "BENCH_2.json" {
 		t.Errorf("second snapshot at %s", p1)
 	}
 	// Gaps don't cause overwrites: the index is one past the maximum.
@@ -74,7 +74,7 @@ func TestSnapshotIndexing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if filepath.Base(p2) != "BENCH_2.json" {
+	if filepath.Base(p2) != "BENCH_3.json" {
 		t.Errorf("post-gap snapshot at %s", p2)
 	}
 

@@ -1,7 +1,10 @@
 // Command fragserver serves shape fragments over HTTP: /validate,
 // /fragment (whole schema, per-shape), /node (per-node neighborhoods
 // B(v, G, φ)), /explain (per-triple provenance justifications, JSON),
-// and /tpf triple pattern fragments, streaming N-Triples.
+// and /tpf triple pattern fragments, streaming N-Triples. POST /update
+// applies live Turtle/N-Triples deltas: each effective update publishes a
+// new immutable snapshot epoch while in-flight requests keep reading the
+// one they pinned (see the X-Epoch response header).
 //
 // Serve your own data:
 //
@@ -63,6 +66,7 @@ func main() {
 	allowLintErrors := flag.Bool("allow-lint-errors", false, "serve schemas that shapelint flags with error-severity findings")
 	noExplain := flag.Bool("no-explain", false, "disable the /explain route")
 	attrSample := flag.Int("attribution-sample", 0, "attribute 1 in N extraction requests into the fragserver_attribution_* counters (0 disables; sampled requests bypass the neighborhood cache)")
+	maxUpdateBytes := flag.Int64("max-update-bytes", 8<<20, "largest delta body POST /update accepts")
 	jsonLogs := flag.Bool("json-logs", false, "deprecated alias for -log-format json")
 	flag.Parse()
 
@@ -93,6 +97,7 @@ func main() {
 		AllowLintErrors:   *allowLintErrors,
 		DisableExplain:    *noExplain,
 		AttributionSample: *attrSample,
+		MaxUpdateBytes:    *maxUpdateBytes,
 	})
 	if err != nil {
 		fatal(logger, "building server failed", err)

@@ -19,6 +19,15 @@ import (
 // request misses. The cached slices are shared between callers and must be
 // treated as immutable.
 //
+// Entries are additionally keyed by a store epoch (see rdfgraph.Store):
+// a neighborhood computed against epoch e is only ever served to requests
+// pinned to epoch e. After an update publishes epoch e+1, Carry clones
+// forward the entries whose nodes the update provably did not affect
+// (rdfgraph.ApplyResult.Unaffected), so the cache stays warm across
+// updates, and EvictBelow reclaims entries of epochs no request can pin
+// anymore. Single-graph callers that never update can pass any constant
+// epoch (0 works) everywhere.
+//
 // The bound is expressed in triples, not entries, because neighborhood
 // sizes vary by orders of magnitude; an empty neighborhood still costs one
 // unit so that negative results are bounded too.
@@ -32,6 +41,9 @@ type NeighborhoodCache struct {
 	misses    uint64
 	evictions uint64
 	evicted   uint64 // triples removed by evictions, cumulative
+	stale     uint64 // entries removed by EvictBelow, cumulative
+	staleTrip uint64 // triples those entries held
+	carried   uint64 // entries cloned forward by Carry, cumulative
 }
 
 // idTripleBytes is the in-memory size of one cached triple, used to
@@ -39,6 +51,7 @@ type NeighborhoodCache struct {
 const idTripleBytes = int(unsafe.Sizeof(rdfgraph.IDTriple{}))
 
 type neighborhoodKey struct {
+	epoch uint64
 	node  rdfgraph.ID
 	shape shape.Shape
 }
@@ -68,11 +81,12 @@ func entryCost(ts []rdfgraph.IDTriple) int {
 	return len(ts)
 }
 
-// Get returns the cached neighborhood of (v, φ) and whether it was present.
-func (c *NeighborhoodCache) Get(v rdfgraph.ID, phi shape.Shape) ([]rdfgraph.IDTriple, bool) {
+// Get returns the cached neighborhood of (v, φ) at the given epoch and
+// whether it was present.
+func (c *NeighborhoodCache) Get(epoch uint64, v rdfgraph.ID, phi shape.Shape) ([]rdfgraph.IDTriple, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[neighborhoodKey{node: v, shape: phi}]
+	el, ok := c.items[neighborhoodKey{epoch: epoch, node: v, shape: phi}]
 	if !ok {
 		c.misses++
 		return nil, false
@@ -82,17 +96,21 @@ func (c *NeighborhoodCache) Get(v rdfgraph.ID, phi shape.Shape) ([]rdfgraph.IDTr
 	return el.Value.(*neighborhoodEntry).triples, true
 }
 
-// Put stores the neighborhood of (v, φ), evicting least-recently-used
-// entries until it fits. Neighborhoods larger than the whole budget are not
-// cached at all.
-func (c *NeighborhoodCache) Put(v rdfgraph.ID, phi shape.Shape, ts []rdfgraph.IDTriple) {
+// Put stores the neighborhood of (v, φ) computed at the given epoch,
+// evicting least-recently-used entries until it fits. Neighborhoods larger
+// than the whole budget are not cached at all.
+func (c *NeighborhoodCache) Put(epoch uint64, v rdfgraph.ID, phi shape.Shape, ts []rdfgraph.IDTriple) {
 	cost := entryCost(ts)
 	if cost > c.budget {
 		return
 	}
-	key := neighborhoodKey{node: v, shape: phi}
+	key := neighborhoodKey{epoch: epoch, node: v, shape: phi}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(key, ts, cost)
+}
+
+func (c *NeighborhoodCache) putLocked(key neighborhoodKey, ts []rdfgraph.IDTriple, cost int) {
 	if el, ok := c.items[key]; ok {
 		// Concurrent workers may compute the same neighborhood; keep the
 		// incumbent (the results are identical) and just refresh recency.
@@ -115,6 +133,66 @@ func (c *NeighborhoodCache) Put(v rdfgraph.ID, phi shape.Shape, ts []rdfgraph.ID
 	c.size += cost
 }
 
+// Carry clones the entries of epoch `from` whose node satisfies keep into
+// epoch `to`, sharing the triple slices (IDs are stable across epochs, see
+// rdfgraph.Dict.Extend). It returns how many entries were carried. keep is
+// typically rdfgraph.ApplyResult.Unaffected — a predicate proving the
+// node's neighborhood is identical in both epochs; Carry itself performs no
+// soundness check. The source entries stay in place until EvictBelow
+// reclaims them, so requests still pinned to the old epoch keep hitting.
+func (c *NeighborhoodCache) Carry(from, to uint64, keep func(rdfgraph.ID) bool) int {
+	if from == to || keep == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Collect first: putLocked mutates the list we would be ranging over,
+	// and may evict the very entries being copied.
+	type carry struct {
+		key neighborhoodKey
+		ts  []rdfgraph.IDTriple
+	}
+	var picked []carry
+	for key, el := range c.items {
+		if key.epoch != from || !keep(key.node) {
+			continue
+		}
+		picked = append(picked, carry{
+			key: neighborhoodKey{epoch: to, node: key.node, shape: key.shape},
+			ts:  el.Value.(*neighborhoodEntry).triples,
+		})
+	}
+	for _, p := range picked {
+		c.putLocked(p.key, p.ts, entryCost(p.ts))
+	}
+	c.carried += uint64(len(picked))
+	return len(picked)
+}
+
+// EvictBelow removes every entry of an epoch older than min, returning how
+// many entries and triples were dropped. The serving layer calls it once no
+// in-flight request pins an epoch below min.
+func (c *NeighborhoodCache) EvictBelow(min uint64) (entries, triples int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		ev := el.Value.(*neighborhoodEntry)
+		if ev.key.epoch >= min {
+			continue
+		}
+		c.ll.Remove(el)
+		delete(c.items, ev.key)
+		c.size -= entryCost(ev.triples)
+		entries++
+		triples += len(ev.triples)
+	}
+	c.stale += uint64(entries)
+	c.staleTrip += uint64(triples)
+	return entries, triples
+}
+
 // CacheStats is a snapshot of cache effectiveness and occupancy
 // counters. Hits, Misses, Evictions and EvictedTriples are cumulative
 // since construction; Entries, Triples and Bytes describe current
@@ -124,6 +202,9 @@ type CacheStats struct {
 	Hits, Misses   uint64
 	Evictions      uint64 // entries removed to make room
 	EvictedTriples uint64 // triples those entries held
+	StaleEvictions uint64 // entries removed by EvictBelow (stale epochs)
+	StaleTriples   uint64 // triples those entries held
+	Carried        uint64 // entries cloned to a new epoch by Carry
 	Entries        int
 	Triples        int
 	Bytes          int
@@ -138,6 +219,9 @@ func (c *NeighborhoodCache) Stats() CacheStats {
 		Misses:         c.misses,
 		Evictions:      c.evictions,
 		EvictedTriples: c.evicted,
+		StaleEvictions: c.stale,
+		StaleTriples:   c.staleTrip,
+		Carried:        c.carried,
 		Entries:        c.ll.Len(),
 		Triples:        c.size,
 		Bytes:          c.size * idTripleBytes,
@@ -152,15 +236,16 @@ func (c *NeighborhoodCache) Len() int {
 }
 
 // NeighborhoodIDsCached computes B(v, G, φ) as dictionary-encoded triples,
-// serving from and filling cache when it is non-nil. For cache hits to
-// occur, φ must be the same Shape value across calls (see NeighborhoodCache
-// on key identity). The returned slice is shared and must not be modified.
-// An attached AttributionRecorder bypasses the cache both ways: a cached
-// neighborhood carries no justifications to replay, and attributed
-// extraction should not displace unattributed entries.
-func (x *Extractor) NeighborhoodIDsCached(cache *NeighborhoodCache, v rdfgraph.ID, phi shape.Shape) []rdfgraph.IDTriple {
+// serving from and filling cache when it is non-nil. epoch identifies the
+// snapshot the extractor's graph belongs to (0 for single-graph callers).
+// For cache hits to occur, φ must be the same Shape value across calls (see
+// NeighborhoodCache on key identity). The returned slice is shared and must
+// not be modified. An attached AttributionRecorder bypasses the cache both
+// ways: a cached neighborhood carries no justifications to replay, and
+// attributed extraction should not displace unattributed entries.
+func (x *Extractor) NeighborhoodIDsCached(cache *NeighborhoodCache, epoch uint64, v rdfgraph.ID, phi shape.Shape) []rdfgraph.IDTriple {
 	if cache != nil && x.rec == nil {
-		if ts, ok := cache.Get(v, phi); ok {
+		if ts, ok := cache.Get(epoch, v, phi); ok {
 			return ts
 		}
 	}
@@ -168,7 +253,7 @@ func (x *Extractor) NeighborhoodIDsCached(cache *NeighborhoodCache, v rdfgraph.I
 	x.collect(v, x.nnf(phi), out, make(map[VisitKey]struct{}))
 	ts := out.IDTriples()
 	if cache != nil && x.rec == nil {
-		cache.Put(v, phi, ts)
+		cache.Put(epoch, v, phi, ts)
 	}
 	return ts
 }

@@ -43,12 +43,12 @@ func TestNeighborhoodCacheEvictionChurnRace(t *testing.T) {
 			for i := 0; i < 3000; i++ {
 				v := rdfgraph.ID((i * 7) % 97)
 				phi := shapes[(i+w)%len(shapes)]
-				if ts, ok := c.Get(v, phi); ok {
+				if ts, ok := c.Get(0, v, phi); ok {
 					// Cached slices are immutable; length is whatever the
 					// winning Put stored for this (v, φ) — just touch it.
 					_ = len(ts)
 				} else {
-					c.Put(v, phi, sized(i))
+					c.Put(0, v, phi, sized(i))
 				}
 			}
 		}(w)

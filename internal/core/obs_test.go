@@ -25,8 +25,8 @@ func TestCacheEvictionAccounting(t *testing.T) {
 		return out
 	}
 	// Fill to exactly budget: 2 entries × 5 triples.
-	c.Put(1, phi, triples(1, 5))
-	c.Put(2, phi, triples(2, 5))
+	c.Put(0, 1, phi, triples(1, 5))
+	c.Put(0, 2, phi, triples(2, 5))
 	st := c.Stats()
 	if st.Evictions != 0 || st.EvictedTriples != 0 {
 		t.Fatalf("no evictions expected yet: %+v", st)
@@ -35,7 +35,7 @@ func TestCacheEvictionAccounting(t *testing.T) {
 		t.Errorf("occupancy: got %d triples / %d bytes, want 10 / 120", st.Triples, st.Bytes)
 	}
 	// A 6-triple entry must evict both LRU entries (5+5 → room for 6).
-	c.Put(3, phi, triples(3, 6))
+	c.Put(0, 3, phi, triples(3, 6))
 	st = c.Stats()
 	if st.Evictions != 2 || st.EvictedTriples != 10 {
 		t.Errorf("evictions: got %d entries / %d triples, want 2 / 10", st.Evictions, st.EvictedTriples)
@@ -44,10 +44,10 @@ func TestCacheEvictionAccounting(t *testing.T) {
 		t.Errorf("post-eviction occupancy: %+v", st)
 	}
 	// Hit/miss bookkeeping stays coherent with the evictions.
-	if _, ok := c.Get(1, phi); ok {
+	if _, ok := c.Get(0, 1, phi); ok {
 		t.Error("evicted entry still served")
 	}
-	if _, ok := c.Get(3, phi); !ok {
+	if _, ok := c.Get(0, 3, phi); !ok {
 		t.Error("surviving entry lost")
 	}
 	st = c.Stats()

@@ -29,6 +29,11 @@ type ParallelOptions struct {
 	// Ctx, when non-nil, aborts extraction between work units; the error
 	// returned is ctx.Err(). Used by the HTTP server for request timeouts.
 	Ctx context.Context
+	// Epoch is the store epoch the extractor's graph belongs to; it
+	// namespaces Cache entries so neighborhoods computed against one
+	// snapshot are never served for another (see rdfgraph.Store). Leave
+	// zero when serving a single graph that never updates.
+	Epoch uint64
 	// Tracer, when non-nil, receives extraction sub-stage timings: "nnf"
 	// (request normalization) and "merge" (union of per-worker triple
 	// sets). The serving layer passes the per-request obs.Trace here so
@@ -121,7 +126,7 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 				if hi > len(nodes) {
 					hi = len(nodes)
 				}
-				wx.extractRange(requests[req], nnfs[req], nodes[lo:hi], out, visited, opts.Cache)
+				wx.extractRange(requests[req], nnfs[req], nodes[lo:hi], out, visited, opts.Cache, opts.Epoch)
 			}
 		}()
 	}
@@ -159,7 +164,7 @@ func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, n
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return nil, opts.Ctx.Err()
 		}
-		x.extractRange(requests[i], nnfs[i], nodes, out, visited, opts.Cache)
+		x.extractRange(requests[i], nnfs[i], nodes, out, visited, opts.Cache, opts.Epoch)
 	}
 	return out.Triples(x.ev.G.Dict()), nil
 }
@@ -169,7 +174,7 @@ func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, n
 // (the fast path, identical to Fragment's inner loop). With a cache it
 // computes isolated per-node neighborhoods — the unit the cache stores —
 // while still sharing this extractor's conformance and path caches.
-func (x *Extractor) extractRange(request, nnf shape.Shape, nodes []rdfgraph.ID, out *rdfgraph.IDTripleSet, visited map[VisitKey]struct{}, cache *NeighborhoodCache) {
+func (x *Extractor) extractRange(request, nnf shape.Shape, nodes []rdfgraph.ID, out *rdfgraph.IDTripleSet, visited map[VisitKey]struct{}, cache *NeighborhoodCache, epoch uint64) {
 	// A cached neighborhood carries no justifications, so an attached
 	// recorder bypasses the cache: attribution always re-derives.
 	if cache == nil || x.rec != nil {
@@ -179,14 +184,14 @@ func (x *Extractor) extractRange(request, nnf shape.Shape, nodes []rdfgraph.ID, 
 		return
 	}
 	for _, v := range nodes {
-		if ts, ok := cache.Get(v, request); ok {
+		if ts, ok := cache.Get(epoch, v, request); ok {
 			out.AddAll(ts)
 			continue
 		}
 		per := rdfgraph.NewIDTripleSet()
 		x.collect(v, nnf, per, make(map[VisitKey]struct{}))
 		ts := per.IDTriples()
-		cache.Put(v, request, ts)
+		cache.Put(epoch, v, request, ts)
 		out.AddSet(per)
 	}
 }

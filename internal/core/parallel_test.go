@@ -132,28 +132,28 @@ func TestNeighborhoodCacheLRU(t *testing.T) {
 		return []rdfgraph.IDTriple{{S: rdfgraph.ID(i), P: 0, O: 0}}
 	}
 	for i := 0; i < 20; i++ {
-		c.Put(rdfgraph.ID(i), phi, triple(i))
+		c.Put(0, rdfgraph.ID(i), phi, triple(i))
 	}
 	st := c.Stats()
 	if st.Triples > 10 {
 		t.Errorf("cache exceeded its budget: %d triples cached", st.Triples)
 	}
-	if _, ok := c.Get(0, phi); ok {
+	if _, ok := c.Get(0, 0, phi); ok {
 		t.Error("oldest entry should have been evicted")
 	}
-	if ts, ok := c.Get(19, phi); !ok || len(ts) != 1 || ts[0].S != 19 {
+	if ts, ok := c.Get(0, 19, phi); !ok || len(ts) != 1 || ts[0].S != 19 {
 		t.Error("newest entry missing or wrong")
 	}
 	// Oversized neighborhoods are passed through uncached.
 	big := make([]rdfgraph.IDTriple, 11)
-	c.Put(100, phi, big)
-	if _, ok := c.Get(100, phi); ok {
+	c.Put(0, 100, phi, big)
+	if _, ok := c.Get(0, 100, phi); ok {
 		t.Error("entry larger than the whole budget must not be cached")
 	}
 	// Distinct shapes are distinct keys; empty neighborhoods are cached.
 	phi2 := shape.FalseShape()
-	c.Put(19, phi2, nil)
-	if ts, ok := c.Get(19, phi2); !ok || len(ts) != 0 {
+	c.Put(0, 19, phi2, nil)
+	if ts, ok := c.Get(0, 19, phi2); !ok || len(ts) != 0 {
 		t.Error("empty neighborhood for second shape not cached independently")
 	}
 }
@@ -169,14 +169,14 @@ func TestNeighborhoodCacheConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				v := rdfgraph.ID(i % 50)
 				phi := shapes[i%2]
-				if ts, ok := c.Get(v, phi); ok {
+				if ts, ok := c.Get(0, v, phi); ok {
 					if len(ts) != 1 || ts[0].S != v {
 						t.Errorf("corrupt cache entry for node %d", v)
 						return
 					}
 					continue
 				}
-				c.Put(v, phi, []rdfgraph.IDTriple{{S: v}})
+				c.Put(0, v, phi, []rdfgraph.IDTriple{{S: v}})
 			}
 		}(w)
 	}
@@ -191,8 +191,8 @@ func TestNeighborhoodIDsCached(t *testing.T) {
 	cache := core.NewNeighborhoodCache(1 << 16)
 	phi := h.Definitions()[0].Shape
 	for _, v := range g.NodeIDs()[:10] {
-		first := x.NeighborhoodIDsCached(cache, v, phi)
-		second := x.NeighborhoodIDsCached(cache, v, phi)
+		first := x.NeighborhoodIDsCached(cache, 0, v, phi)
+		second := x.NeighborhoodIDsCached(cache, 0, v, phi)
 		if len(first) != len(second) {
 			t.Fatalf("cached result differs for node %d", v)
 		}

@@ -98,14 +98,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			defs = named
 		}
 	}
-	id := s.g.LookupTerm(focus)
+	snap, done := s.snapshot(w)
+	defer done()
+	g := snap.Graph()
+	id := g.LookupTerm(focus)
 	stopTarget()
 
 	resp := explainResponse{Focus: focus.String(), Triples: []explainTriple{}}
-	x := s.acquire()
+	x := s.acquire(g)
 	defer s.release(x)
 	stopExtract := tr.Start("extract")
-	ex := core.NewExplanation(s.g)
+	ex := core.NewExplanation(g)
 	for _, d := range defs {
 		status := explainShapeStatus{Name: d.Name.String()}
 		if id != rdfgraph.NoID {
@@ -133,7 +136,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 				Constraint: j.Constraint.String(),
 				Kind:       j.Kind(),
 				Negated:    j.Negated,
-				Focus:      s.g.Term(j.Focus).String(),
+				Focus:      g.Term(j.Focus).String(),
 			}
 			if j.Shape != (rdf.Term{}) {
 				ej.Shape = j.Shape.String()
@@ -141,7 +144,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			if j.HasStep {
 				ej.Step = &explainStep{
 					From: j.Step.From, To: j.Step.To,
-					Pred: s.g.Term(j.Step.Pred).String(), Fwd: j.Step.Fwd,
+					Pred: g.Term(j.Step.Pred).String(), Fwd: j.Step.Fwd,
 				}
 			}
 			et.Justifications = append(et.Justifications, ej)

@@ -23,13 +23,16 @@ const (
 	mAttrSampled     = "fragserver_attribution_sampled_total"
 	mAttrJustTotal   = "fragserver_attribution_justifications_total"
 	mAttrJustByKind  = "fragserver_attribution_justifications_by_kind_total"
+	mEpoch           = "fragserver_epoch"
+	mUpdateTotal     = "fragserver_update_total"
+	mUpdateTriples   = "fragserver_update_triples_total"
 )
 
 // routeNames are the label values for the route label; requests outside
 // the mux's route set are folded into "other" so label cardinality stays
 // bounded no matter what paths clients probe.
 var routeNames = []string{
-	"/validate", "/fragment", "/node", "/explain", "/tpf",
+	"/validate", "/fragment", "/node", "/explain", "/tpf", "/update",
 	"/healthz", "/readyz", "/stats", "/metrics",
 }
 
@@ -47,6 +50,7 @@ func normalizeRoute(path string) string {
 // registry lookups.
 var stageNames = []string{
 	"parse", "target", "extract", "serialize", "validate", "nnf", "merge",
+	"apply",
 }
 
 // serverMetrics owns the server's registry plus the pre-created hot-path
@@ -66,6 +70,13 @@ type serverMetrics struct {
 	explainJust    *obs.Counter
 	sampled        *obs.Counter
 	tally          *tallyRecorder // nil unless Config.AttributionSample > 0
+
+	// POST /update outcomes and effective delta volume.
+	updApplied  *obs.Counter
+	updNoop     *obs.Counter
+	updRejected *obs.Counter
+	updAdded    *obs.Counter
+	updDeleted  *obs.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -89,6 +100,16 @@ func newServerMetrics(s *Server) *serverMetrics {
 	}
 	m.inflight = reg.Gauge(mInflight, "Requests currently being served.")
 	m.shed = reg.Counter(mShedTotal, "Requests rejected with 503 by the in-flight limiter.")
+	m.updApplied = reg.Counter(mUpdateTotal,
+		"POST /update requests, by result (applied, noop, rejected).", obs.L("result", "applied"))
+	m.updNoop = reg.Counter(mUpdateTotal,
+		"POST /update requests, by result (applied, noop, rejected).", obs.L("result", "noop"))
+	m.updRejected = reg.Counter(mUpdateTotal,
+		"POST /update requests, by result (applied, noop, rejected).", obs.L("result", "rejected"))
+	m.updAdded = reg.Counter(mUpdateTriples,
+		"Effective triple operations applied by updates, by op.", obs.L("op", "add"))
+	m.updDeleted = reg.Counter(mUpdateTriples,
+		"Effective triple operations applied by updates, by op.", obs.L("op", "delete"))
 	m.explainTriples = reg.Counter(mExplainTriples,
 		"Triples returned by /explain responses.")
 	m.explainJust = reg.Counter(mExplainJust,
@@ -112,10 +133,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 			}
 			return 1
 		})
-	reg.GaugeFunc("fragserver_graph_triples", "Triples in the served (frozen) data graph.",
-		func() float64 { return float64(s.g.Len()) })
-	reg.GaugeFunc("fragserver_dict_terms", "Interned terms in the graph dictionary.",
-		func() float64 { return float64(s.g.Dict().Len()) })
+	reg.GaugeFunc(mEpoch, "Epoch of the currently served snapshot; increments once per effective update.",
+		func() float64 { return float64(s.store.Current().Epoch()) })
+	reg.GaugeFunc("fragserver_graph_triples", "Triples in the currently served snapshot.",
+		func() float64 { return float64(s.store.Current().Graph().Len()) })
+	reg.GaugeFunc("fragserver_dict_terms", "Interned terms in the current snapshot's dictionary.",
+		func() float64 { return float64(s.store.Current().Graph().Dict().Len()) })
 	reg.GaugeFunc("fragserver_schema_shapes", "Shape definitions in the served schema.",
 		func() float64 { return float64(s.h.Len()) })
 	reg.GaugeFunc("fragserver_extraction_workers", "Parallel extraction worker count.",
@@ -148,6 +171,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(s.cache.Stats().Triples) })
 		reg.GaugeFunc("fragserver_cache_bytes", "Approximate bytes of cached triple storage.",
 			func() float64 { return float64(s.cache.Stats().Bytes) })
+		reg.CounterFunc("fragserver_cache_stale_evictions_total",
+			"Cache entries evicted because their epoch fell below every in-flight request.",
+			func() float64 { return float64(s.cache.Stats().StaleEvictions) })
+		reg.CounterFunc("fragserver_cache_stale_triples_total",
+			"Triples held by stale-epoch evicted entries.",
+			func() float64 { return float64(s.cache.Stats().StaleTriples) })
+		reg.CounterFunc("fragserver_cache_carried_total",
+			"Cache entries carried to a new epoch because the update did not affect their node.",
+			func() float64 { return float64(s.cache.Stats().Carried) })
 	}
 	return m
 }

@@ -82,7 +82,7 @@ func TestMetricsCacheParity(t *testing.T) {
 // into hits, one per requested shape.
 func TestCacheHitMissAccounting(t *testing.T) {
 	srv, ts := newTestServer(t)
-	frag := core.NewExtractor(srv.g, srv.h).Fragment(srv.requests[:1])
+	frag := core.NewExtractor(srv.graphNow(), srv.h).Fragment(srv.requests[:1])
 	if len(frag) == 0 {
 		t.Fatal("test fragment empty")
 	}
@@ -107,7 +107,7 @@ func TestCacheHitMissAccounting(t *testing.T) {
 // every streaming route.
 func TestServerTimingHeader(t *testing.T) {
 	srv, ts := newTestServer(t)
-	frag := core.NewExtractor(srv.g, srv.h).Fragment(srv.requests[:1])
+	frag := core.NewExtractor(srv.graphNow(), srv.h).Fragment(srv.requests[:1])
 	focus := url.QueryEscape(frag[0].S.String())
 
 	for _, tc := range []struct {

@@ -2,7 +2,8 @@
 // service positioning shape fragments as a subgraph-retrieval interface
 // between Triple Pattern Fragments and full SPARQL endpoints (Section 7,
 // Figure 4 of the paper). A server loads one data graph and one schema at
-// startup, freezes the graph, and then serves:
+// startup; the graph becomes epoch 1 of an rdfgraph.Store of immutable
+// snapshots, and the server serves:
 //
 //	GET /validate                — validation report (?full=1 for all results)
 //	GET /fragment                — Frag(G, H), the whole schema fragment
@@ -11,8 +12,20 @@
 //	GET /explain?iri=<t>[&shape=]— that neighborhood with per-triple
 //	                               justifications (JSON; see handleExplain)
 //	GET /tpf?s=&p=&o=            — a triple pattern fragment
+//	POST /update[?op=delete]     — apply a Turtle/N-Triples delta, publishing
+//	                               a new epoch (see handleUpdate)
 //	GET /healthz, GET /readyz    — process liveness; readiness (503 on drain)
 //	GET /stats, GET /metrics     — human-readable stats; Prometheus text
+//
+// # Epochs
+//
+// Every data route pins the current snapshot for its whole lifetime and
+// reports its epoch in an X-Epoch response header: a request never observes
+// a half-applied update, and concurrent updates never block readers.
+// Neighborhood cache entries are keyed by epoch; after an update the
+// entries of nodes provably untouched by the delta (their weakly-connected
+// component contains no delta endpoint) are carried to the new epoch, and
+// entries of epochs no in-flight request pins anymore are evicted.
 //
 // Production behaviors: per-request timeouts propagated through
 // context.Context into extraction, bounded in-flight concurrency (503 when
@@ -51,6 +64,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -103,13 +117,16 @@ type Config struct {
 	// cache, so small N trades cache hit rate for telemetry; 0 disables
 	// sampling entirely (the default — zero overhead).
 	AttributionSample int
+	// MaxUpdateBytes bounds the request body accepted by POST /update;
+	// <= 0 means 8 MiB.
+	MaxUpdateBytes int64
 }
 
 // Server serves shape fragments over HTTP. Create with New; the handler
 // tree is available via Handler for mounting, or use Serve for a managed
 // listener with graceful shutdown.
 type Server struct {
-	g       *rdfgraph.Graph
+	store   *rdfgraph.Store
 	h       *schema.Schema
 	lint    []shapelint.Diagnostic
 	workers int
@@ -118,6 +135,13 @@ type Server struct {
 	cache   *core.NeighborhoodCache
 	sem     chan struct{}
 	pool    chan *core.Extractor
+
+	// pins refcounts the epochs in-flight requests are running against;
+	// staleFloor is the highest epoch the cache has been swept below, so
+	// releases only rescan the cache when the floor actually advanced.
+	pins       epochPins
+	staleFloor atomic.Uint64
+	maxUpdate  int64
 
 	// requests holds one pointer-stable request shape φ ∧ τ per definition
 	// (in definition order): both the /fragment work list and the stable
@@ -135,8 +159,12 @@ type Server struct {
 }
 
 // New builds a server over g and h. The graph's dictionary is warmed with
-// every constant the schema can mention and then frozen: from that point on
-// the graph is immutable and shared lock-free by all request goroutines.
+// every constant the schema can mention, then the graph becomes epoch 1 of
+// an rdfgraph.Store: each request pins one immutable snapshot for its whole
+// lifetime and shares it lock-free with every other reader, while POST
+// /update publishes new epochs without blocking anyone. Schema constants
+// stay resolvable across epochs because snapshot dictionaries extend the
+// warmed base dictionary.
 func New(cfg Config) (*Server, error) {
 	if cfg.Graph == nil {
 		return nil, errors.New("fragserver: Config.Graph is required")
@@ -180,25 +208,32 @@ func New(cfg Config) (*Server, error) {
 			"shape", d.Shape.String(), "msg", d.Message)
 	}
 
+	maxUpdate := cfg.MaxUpdateBytes
+	if maxUpdate <= 0 {
+		maxUpdate = 8 << 20
+	}
+
 	warmDictionary(cfg.Graph, cfg.Schema)
-	cfg.Graph.Freeze()
 
 	s := &Server{
-		g:        cfg.Graph,
-		h:        cfg.Schema,
-		lint:     lint,
-		workers:  workers,
-		timeout:  timeout,
-		log:      logger,
-		cache:    cache,
-		sem:      make(chan struct{}, maxInflight),
-		pool:     make(chan *core.Extractor, maxInflight),
-		requests: core.SchemaRequests(cfg.Schema),
-		started:  time.Now(),
+		store:     rdfgraph.NewStore(cfg.Graph),
+		h:         cfg.Schema,
+		lint:      lint,
+		workers:   workers,
+		timeout:   timeout,
+		log:       logger,
+		cache:     cache,
+		sem:       make(chan struct{}, maxInflight),
+		pool:      make(chan *core.Extractor, maxInflight),
+		requests:  core.SchemaRequests(cfg.Schema),
+		started:   time.Now(),
+		maxUpdate: maxUpdate,
 
 		explainOff: cfg.DisableExplain,
 		sampleN:    cfg.AttributionSample,
 	}
+	s.pins.refs = make(map[uint64]int)
+	s.staleFloor.Store(s.store.Current().Epoch())
 	s.metrics = newServerMetrics(s)
 	s.handler = s.withObs(s.withLimit(s.withTimeout(s.routes())))
 	return s, nil
@@ -230,6 +265,12 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // debug listener so scrapes keep working while the main listener sheds
 // load.
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
+
+// Store returns the server's snapshot store. Callers embedding the server
+// can apply deltas directly through it, but going through POST /update is
+// preferred: only the handler keeps the neighborhood cache warm (Carry)
+// and the update metrics truthful.
+func (s *Server) Store() *rdfgraph.Store { return s.store }
 
 // Lint returns the schema lint findings computed at load time, in the
 // linter's stable order. With Config.AllowLintErrors unset the slice can
@@ -275,6 +316,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /node", s.handleNode)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /tpf", s.handleTPF)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -282,20 +324,111 @@ func (s *Server) routes() http.Handler {
 	return mux
 }
 
-// acquire hands out a pooled extractor, creating one when the pool is dry
-// (the in-flight limiter bounds how many can exist at once). Pooled
-// extractors keep their evaluator memoization across requests, so repeated
-// validation and extraction against the frozen graph get cheaper over time.
-func (s *Server) acquire() *core.Extractor {
-	select {
-	case x := <-s.pool:
-		return x
-	default:
-		return core.NewExtractor(s.g, s.h)
+// epochPins refcounts which epochs in-flight requests are pinned to, so
+// the cache sweeper knows which stale epochs no reader can touch anymore.
+type epochPins struct {
+	mu   sync.Mutex
+	refs map[uint64]int
+}
+
+func (p *epochPins) pin(e uint64) {
+	p.mu.Lock()
+	p.refs[e]++
+	p.mu.Unlock()
+}
+
+func (p *epochPins) unpin(e uint64) {
+	p.mu.Lock()
+	if p.refs[e]--; p.refs[e] <= 0 {
+		delete(p.refs, e)
+	}
+	p.mu.Unlock()
+}
+
+// min returns the lowest pinned epoch, if any request is in flight.
+func (p *epochPins) min() (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lo uint64
+	ok := false
+	for e := range p.refs {
+		if !ok || e < lo {
+			lo, ok = e, true
+		}
+	}
+	return lo, ok
+}
+
+// snapshot pins the current store snapshot for one request and stamps its
+// epoch on the response, so every read the handler performs — graph
+// lookups, extraction, cache access — sees exactly one epoch no matter how
+// many updates land mid-request. The returned release must be called when
+// the handler is done; it unpins and sweeps cache entries of epochs no
+// in-flight request can reach anymore.
+func (s *Server) snapshot(w http.ResponseWriter) (*rdfgraph.Snapshot, func()) {
+	snap := s.store.Current()
+	s.pins.pin(snap.Epoch())
+	w.Header().Set("X-Epoch", strconv.FormatUint(snap.Epoch(), 10))
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.pins.unpin(snap.Epoch())
+			s.evictStale()
+		})
+	}
+	return snap, release
+}
+
+// evictStale drops cache entries of epochs below the eviction floor — the
+// older of the current epoch and the oldest pinned one. The floor is
+// tracked in staleFloor so the cache is only scanned when an update
+// actually advanced it, not on every request.
+func (s *Server) evictStale() {
+	if s.cache == nil {
+		return
+	}
+	floor := s.store.Current().Epoch()
+	if lo, ok := s.pins.min(); ok && lo < floor {
+		floor = lo
+	}
+	for {
+		last := s.staleFloor.Load()
+		if floor <= last {
+			return
+		}
+		if s.staleFloor.CompareAndSwap(last, floor) {
+			break
+		}
+	}
+	s.cache.EvictBelow(floor)
+}
+
+// acquire hands out a pooled extractor for the given snapshot graph,
+// creating one when the pool is dry (the in-flight limiter bounds how many
+// can exist at once). Pooled extractors keep their evaluator memoization
+// across requests, so repeated validation and extraction against one epoch
+// get cheaper over time; an extractor built for an older epoch is simply
+// dropped — its memoization is unsound against the new graph.
+func (s *Server) acquire(g *rdfgraph.Graph) *core.Extractor {
+	for {
+		select {
+		case x := <-s.pool:
+			if x.Graph() == g {
+				return x
+			}
+			// Stale epoch: discard and keep draining the pool.
+		default:
+			return core.NewExtractor(g, s.h)
+		}
 	}
 }
 
 func (s *Server) release(x *core.Extractor) {
+	// Don't pool extractors for superseded epochs; letting them die keeps
+	// the pool converging onto the current graph after an update.
+	if x.Graph() != s.store.Current().Graph() {
+		return
+	}
 	select {
 	case s.pool <- x:
 	default:
@@ -325,7 +458,9 @@ func (s *Server) defIndex(name string) (int, bool) {
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	tr := obs.FromContext(r.Context())
-	x := s.acquire()
+	snap, done := s.snapshot(w)
+	defer done()
+	x := s.acquire(snap.Graph())
 	defer s.release(x)
 	stop := tr.Start("validate")
 	report := s.h.ValidateWith(x.Evaluator())
@@ -358,12 +493,15 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 		requests = s.requests[i : i+1]
 	}
 	stopTarget()
-	x := s.acquire()
+	snap, done := s.snapshot(w)
+	defer done()
+	x := s.acquire(snap.Graph())
 	defer s.release(x)
 	stopExtract := tr.Start("extract")
 	triples, err := x.FragmentParallel(requests, core.ParallelOptions{
 		Workers:  s.workers,
 		Cache:    s.cache,
+		Epoch:    snap.Epoch(),
 		Ctx:      r.Context(),
 		Tracer:   tr,
 		Recorder: s.sampleAttribution(),
@@ -409,7 +547,11 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 			shapes = append(shapes, d.Shape)
 		}
 	}
-	id := s.g.LookupTerm(focus)
+	snap, done := s.snapshot(w)
+	defer done()
+	// LookupTerm never interns, so an unknown focus cannot mutate the
+	// frozen snapshot dictionary no matter how many goroutines probe it.
+	id := snap.Graph().LookupTerm(focus)
 	stopTarget()
 	if id == rdfgraph.NoID {
 		// A term no triple mentions has empty neighborhoods for every
@@ -418,7 +560,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		s.streamNTriples(w, r, nil)
 		return
 	}
-	x := s.acquire()
+	x := s.acquire(snap.Graph())
 	defer s.release(x)
 	if rec := s.sampleAttribution(); rec != nil {
 		// Sampled requests re-derive with attribution; the recorder makes
@@ -434,9 +576,9 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 			httpTimeoutError(w, r, r.Context().Err())
 			return
 		}
-		out.AddAll(x.NeighborhoodIDsCached(s.cache, id, phi))
+		out.AddAll(x.NeighborhoodIDsCached(s.cache, snap.Epoch(), id, phi))
 	}
-	triples := out.Triples(s.g.Dict())
+	triples := out.Triples(snap.Graph().Dict())
 	stopExtract()
 	s.streamNTriples(w, r, triples)
 }
@@ -453,8 +595,10 @@ func (s *Server) handleTPF(w http.ResponseWriter, r *http.Request) {
 	if phi, ok := pattern.RequestShape(); ok {
 		w.Header().Set("X-Request-Shape", phi.String())
 	}
+	snap, done := s.snapshot(w)
+	defer done()
 	stopExtract := tr.Start("extract")
-	triples := pattern.Eval(s.g)
+	triples := pattern.Eval(snap.Graph())
 	stopExtract()
 	s.streamNTriples(w, r, triples)
 }
@@ -478,9 +622,11 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.store.Current()
+	g := snap.Graph()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "uptime: %s\ntriples: %d\nterms: %d\nshapes: %d\nworkers: %d\n",
-		time.Since(s.started).Round(time.Second), s.g.Len(), s.g.Dict().Len(), s.h.Len(), s.workers)
+	fmt.Fprintf(w, "uptime: %s\nepoch: %d\ntriples: %d\nterms: %d\nshapes: %d\nworkers: %d\n",
+		time.Since(s.started).Round(time.Second), snap.Epoch(), g.Len(), g.Dict().Len(), s.h.Len(), s.workers)
 	if s.cache != nil {
 		st := s.cache.Stats()
 		fmt.Fprintf(w, "cache: %d entries, %d triples (~%d bytes), %d hits, %d misses, %d evictions (%d triples)\n",
@@ -569,3 +715,8 @@ func parseTPFPattern(q map[string][]string) (tpf.Pattern, error) {
 	}
 	return pattern, nil
 }
+
+// graphNow returns the graph of the current snapshot — a convenience for
+// code that needs "the graph as of now" without pinning (stats, tests).
+// Request handlers must use snapshot instead so all their reads agree.
+func (s *Server) graphNow() *rdfgraph.Graph { return s.store.Current().Graph() }

@@ -73,7 +73,7 @@ func TestHandleValidate(t *testing.T) {
 // serial in-process extraction — the subsystem must not change Frag(G, H).
 func TestHandleFragmentParity(t *testing.T) {
 	srv, ts := newTestServer(t)
-	want := turtle.FormatNTriples(core.NewExtractor(srv.g, srv.h).FragmentSchema(srv.h))
+	want := turtle.FormatNTriples(core.NewExtractor(srv.graphNow(), srv.h).FragmentSchema(srv.h))
 
 	resp, body := get(t, ts, "/fragment")
 	if resp.StatusCode != http.StatusOK {
@@ -90,7 +90,7 @@ func TestHandleFragmentParity(t *testing.T) {
 	}
 
 	// Per-shape fragment: suffix resolution plus parity against one request.
-	wantOne := turtle.FormatNTriples(core.NewExtractor(srv.g, srv.h).Fragment(srv.requests[:1]))
+	wantOne := turtle.FormatNTriples(core.NewExtractor(srv.graphNow(), srv.h).Fragment(srv.requests[:1]))
 	resp, body = get(t, ts, "/fragment?shape=S01")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /fragment?shape=S01: %d", resp.StatusCode)
@@ -130,7 +130,7 @@ func TestHandleNode(t *testing.T) {
 	srv, ts := newTestServer(t)
 
 	// Pick a focus node the fragment actually contains.
-	frag := core.NewExtractor(srv.g, srv.h).Fragment(srv.requests[:1])
+	frag := core.NewExtractor(srv.graphNow(), srv.h).Fragment(srv.requests[:1])
 	if len(frag) == 0 {
 		t.Fatal("test fragment is empty; pick a bigger graph")
 	}
@@ -209,8 +209,8 @@ func TestHandleTPF(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("GET /tpf: %d", resp.StatusCode)
 	}
-	if n := strings.Count(body, "\n"); n != srv.g.Len() {
-		t.Errorf("unconstrained /tpf returned %d triples, graph has %d", n, srv.g.Len())
+	if n := strings.Count(body, "\n"); n != srv.graphNow().Len() {
+		t.Errorf("unconstrained /tpf returned %d triples, graph has %d", n, srv.graphNow().Len())
 	}
 	if resp.Header.Get("X-Request-Shape") == "" {
 		t.Error("missing X-Request-Shape header (Section 7: TPF requests are shapes)")

@@ -1,0 +1,72 @@
+package rdf_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/shapetest"
+)
+
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TestCompareStrictTotalOrder property-tests that Compare induces a strict
+// total order on terms (a < b iff Compare(a,b) < 0): irreflexive,
+// antisymmetric, transitive, and total — distinct terms never compare
+// equal, so sorted output has one canonical form.
+//
+// The generator's tiny universe makes every collision class likely: equal
+// lexical values across kinds, across datatypes, and across language tags.
+func TestCompareStrictTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 300
+	terms := make([]rdf.Term, n)
+	for i := range terms {
+		terms[i] = shapetest.RandomTerm(rng)
+	}
+
+	// Irreflexivity and equality agreement: Compare(a, a) must be 0, and —
+	// since Term is a comparable value type — Compare must be 0 ONLY for
+	// identical terms, otherwise two distinct terms would be unordered and
+	// the order would not be total.
+	for i, a := range terms {
+		if rdf.Compare(a, a) != 0 {
+			t.Fatalf("Compare(a, a) = %d for %v", rdf.Compare(a, a), a)
+		}
+		for _, b := range terms[i+1:] {
+			cab, cba := rdf.Compare(a, b), rdf.Compare(b, a)
+			if sign(cab) != -sign(cba) {
+				t.Fatalf("antisymmetry violated: Compare(%v, %v) = %d but Compare(%v, %v) = %d",
+					a, b, cab, b, a, cba)
+			}
+			if cab == 0 && a != b {
+				t.Fatalf("distinct terms compare equal: %#v vs %#v", a, b)
+			}
+		}
+	}
+
+	// Transitivity, sampled: < composes, and equal terms are
+	// indistinguishable to the order.
+	for trial := 0; trial < 200000; trial++ {
+		a := terms[rng.Intn(n)]
+		b := terms[rng.Intn(n)]
+		c := terms[rng.Intn(n)]
+		cab, cbc, cac := rdf.Compare(a, b), rdf.Compare(b, c), rdf.Compare(a, c)
+		if cab < 0 && cbc < 0 && cac >= 0 {
+			t.Fatalf("transitivity violated: %v < %v < %v but Compare(a, c) = %d", a, b, c, cac)
+		}
+		if cab == 0 && sign(cbc) != sign(cac) {
+			t.Fatalf("equal terms order differently: %v = %v but Compare(b, c) = %d, Compare(a, c) = %d",
+				a, b, cbc, cac)
+		}
+	}
+}

@@ -141,25 +141,44 @@ func (t Term) String() string {
 	}
 }
 
+// escapeLiteral escapes the quote, backslash and every C0 control
+// character so the output re-lexes to the same lexical form. It walks
+// bytes, not runes: all escaped characters are ASCII, and byte-copying
+// the rest cannot corrupt multi-byte sequences the way a rune loop would
+// (a rune loop rewrites invalid UTF-8 to U+FFFD).
 func escapeLiteral(s string) string {
-	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' {
+			clean = false
+			break
+		}
+	}
+	if clean {
 		return s
 	}
 	var b strings.Builder
-	for _, r := range s {
-		switch r {
-		case '"':
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
 			b.WriteString(`\"`)
-		case '\\':
+		case c == '\\':
 			b.WriteString(`\\`)
-		case '\n':
+		case c == '\n':
 			b.WriteString(`\n`)
-		case '\r':
+		case c == '\r':
 			b.WriteString(`\r`)
-		case '\t':
+		case c == '\t':
 			b.WriteString(`\t`)
+		case c == '\b':
+			b.WriteString(`\b`)
+		case c == '\f':
+			b.WriteString(`\f`)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04X`, c)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()

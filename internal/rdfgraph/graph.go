@@ -39,10 +39,50 @@ type ID int32
 const NoID ID = -1
 
 // Dict interns terms to dense IDs and back.
+//
+// A dictionary produced by Extend layers a small overlay of newly interned
+// terms over a frozen base, sharing the base's term table so that IDs stay
+// stable across snapshot epochs: an ID minted in epoch n resolves to the
+// same term in every later epoch. Lookup walks the overlay chain; the chain
+// is flattened into a single map every dictFlattenDepth generations so that
+// lookups stay O(1) amortized under sustained update load.
 type Dict struct {
 	byTerm map[rdf.Term]ID
 	terms  []rdf.Term
 	frozen bool
+	// base is the frozen parent dictionary this overlay extends, nil for a
+	// root or flattened dictionary. depth counts overlay generations since
+	// the last flatten.
+	base  *Dict
+	depth int
+}
+
+// dictFlattenDepth bounds the overlay-chain length: Extend flattens the
+// chain into one map once this many generations have accumulated.
+const dictFlattenDepth = 4
+
+// Extend returns a fresh mutable dictionary layered over d: every term of d
+// keeps its ID, and terms unseen by d may be interned without copying d's
+// map. d must be frozen — the overlay appends into the shared term table,
+// which is only safe while d itself can no longer grow. Extend is how
+// Graph.CloneCOW shares the dictionary between snapshot epochs; successive
+// overlays must form a single writer lineage (enforced by Store's mutex).
+func (d *Dict) Extend() *Dict {
+	if !d.frozen {
+		panic("rdfgraph: Extend of unfrozen dictionary")
+	}
+	nd := &Dict{terms: d.terms}
+	if d.depth+1 >= dictFlattenDepth {
+		nd.byTerm = make(map[rdf.Term]ID, len(d.terms))
+		for i, t := range d.terms {
+			nd.byTerm[t] = ID(i)
+		}
+	} else {
+		nd.byTerm = make(map[rdf.Term]ID)
+		nd.base = d
+		nd.depth = d.depth + 1
+	}
+	return nd
 }
 
 // NewDict returns an empty dictionary.
@@ -61,7 +101,7 @@ func (d *Dict) Frozen() bool { return d.frozen }
 // Intern returns the ID for t, assigning a fresh one if needed. Interning a
 // term absent from a frozen dictionary panics; see Freeze.
 func (d *Dict) Intern(t rdf.Term) ID {
-	if id, ok := d.byTerm[t]; ok {
+	if id := d.Lookup(t); id != NoID {
 		return id
 	}
 	if d.frozen {
@@ -75,8 +115,10 @@ func (d *Dict) Intern(t rdf.Term) ID {
 
 // Lookup returns the ID for t, or NoID if t was never interned.
 func (d *Dict) Lookup(t rdf.Term) ID {
-	if id, ok := d.byTerm[t]; ok {
-		return id
+	for e := d; e != nil; e = e.base {
+		if id, ok := e.byTerm[t]; ok {
+			return id
+		}
 	}
 	return NoID
 }
@@ -104,6 +146,13 @@ type Graph struct {
 	// byPred maps predicate → list of edges, in insertion order.
 	byPred map[ID][]Edge
 	size   int
+	// cowS/cowO track which per-subject (resp. per-object) submaps this
+	// graph owns after CloneCOW. A key absent from the set still aliases
+	// the parent snapshot's submap and must be deep-copied before its
+	// first mutation. Both are nil on graphs built by New and are cleared
+	// by Freeze.
+	cowS map[ID]struct{}
+	cowO map[ID]struct{}
 }
 
 // New returns an empty graph with its own term dictionary.
@@ -135,6 +184,7 @@ func (g *Graph) Dict() *Dict { return g.dict }
 // a fresh mutable copy).
 func (g *Graph) Freeze() {
 	g.frozen = true
+	g.cowS, g.cowO = nil, nil
 	g.dict.Freeze()
 }
 
@@ -158,11 +208,7 @@ func (g *Graph) AddIDs(s, p, o ID) bool {
 	if g.frozen {
 		panic("rdfgraph: AddIDs on frozen graph")
 	}
-	po, ok := g.spo[s]
-	if !ok {
-		po = make(map[ID]map[ID]struct{})
-		g.spo[s] = po
-	}
+	po := g.mutableSubject(s)
 	objs, ok := po[p]
 	if !ok {
 		objs = make(map[ID]struct{})
@@ -173,11 +219,7 @@ func (g *Graph) AddIDs(s, p, o ID) bool {
 	}
 	objs[o] = struct{}{}
 
-	ps, ok := g.ops[o]
-	if !ok {
-		ps = make(map[ID]map[ID]struct{})
-		g.ops[o] = ps
-	}
+	ps := g.mutableObject(o)
 	subs, ok := ps[p]
 	if !ok {
 		subs = make(map[ID]struct{})
@@ -185,8 +227,125 @@ func (g *Graph) AddIDs(s, p, o ID) bool {
 	}
 	subs[s] = struct{}{}
 
+	// Appending to a possibly parent-shared edge slice is safe: parent
+	// readers only index below their own length, the append writes at or
+	// beyond it, and Store serializes writers into a single lineage.
 	g.byPred[p] = append(g.byPred[p], Edge{S: s, O: o})
 	g.size++
+	return true
+}
+
+// mutableSubject returns the per-subject submap of g.spo for s, suitable
+// for mutation: on a COW clone the submap is deep-copied the first time the
+// subject is written.
+func (g *Graph) mutableSubject(s ID) map[ID]map[ID]struct{} {
+	po, ok := g.spo[s]
+	if !ok {
+		po = make(map[ID]map[ID]struct{})
+		g.spo[s] = po
+		if g.cowS != nil {
+			g.cowS[s] = struct{}{}
+		}
+		return po
+	}
+	if g.cowS != nil {
+		if _, owned := g.cowS[s]; !owned {
+			po = copySubmap(po)
+			g.spo[s] = po
+			g.cowS[s] = struct{}{}
+		}
+	}
+	return po
+}
+
+// mutableObject is mutableSubject for the ops index.
+func (g *Graph) mutableObject(o ID) map[ID]map[ID]struct{} {
+	ps, ok := g.ops[o]
+	if !ok {
+		ps = make(map[ID]map[ID]struct{})
+		g.ops[o] = ps
+		if g.cowO != nil {
+			g.cowO[o] = struct{}{}
+		}
+		return ps
+	}
+	if g.cowO != nil {
+		if _, owned := g.cowO[o]; !owned {
+			ps = copySubmap(ps)
+			g.ops[o] = ps
+			g.cowO[o] = struct{}{}
+		}
+	}
+	return ps
+}
+
+func copySubmap(m map[ID]map[ID]struct{}) map[ID]map[ID]struct{} {
+	cp := make(map[ID]map[ID]struct{}, len(m))
+	for p, ids := range m {
+		ids2 := make(map[ID]struct{}, len(ids))
+		for id := range ids {
+			ids2[id] = struct{}{}
+		}
+		cp[p] = ids2
+	}
+	return cp
+}
+
+// Remove deletes the triple, reporting whether it was present. Terms absent
+// from the dictionary cannot name a stored triple, so removal never interns.
+func (g *Graph) Remove(t rdf.Triple) bool {
+	s := g.dict.Lookup(t.S)
+	p := g.dict.Lookup(t.P)
+	o := g.dict.Lookup(t.O)
+	if s == NoID || p == NoID || o == NoID {
+		return false
+	}
+	return g.RemoveIDs(s, p, o)
+}
+
+// RemoveIDs deletes a dictionary-encoded triple, reporting whether it was
+// present. Emptied submaps are dropped from the indexes so that IsNode and
+// Nodes keep reflecting N(G) exactly.
+func (g *Graph) RemoveIDs(s, p, o ID) bool {
+	if g.frozen {
+		panic("rdfgraph: RemoveIDs on frozen graph")
+	}
+	if !g.HasIDs(s, p, o) {
+		return false
+	}
+	po := g.mutableSubject(s)
+	objs := po[p]
+	delete(objs, o)
+	if len(objs) == 0 {
+		delete(po, p)
+		if len(po) == 0 {
+			delete(g.spo, s)
+		}
+	}
+	ps := g.mutableObject(o)
+	subs := ps[p]
+	delete(subs, s)
+	if len(subs) == 0 {
+		delete(ps, p)
+		if len(ps) == 0 {
+			delete(g.ops, o)
+		}
+	}
+	// The edge slice may be shared with a parent snapshot, so filter into
+	// a fresh slice instead of splicing in place.
+	edges := g.byPred[p]
+	out := make([]Edge, 0, len(edges)-1)
+	for _, e := range edges {
+		if e.S != s || e.O != o {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		delete(g.byPred, p)
+	} else {
+		g.byPred[p] = out
+	}
+	g.size--
 	return true
 }
 
@@ -328,6 +487,39 @@ func (g *Graph) TermID(t rdf.Term) ID { return g.dict.Intern(t) }
 
 // LookupTerm returns the ID of t if it is interned, else NoID.
 func (g *Graph) LookupTerm(t rdf.Term) ID { return g.dict.Lookup(t) }
+
+// CloneCOW returns a mutable copy-on-write clone of a frozen graph. The
+// clone shares g's dictionary (via Dict.Extend, so IDs stay stable), its
+// per-subject and per-object index submaps, and its per-predicate edge
+// slices; a submap is deep-copied only when first mutated, and edge slices
+// are rebuilt only on deletion. This makes a small delta O(delta), not
+// O(graph). Clones must form a single writer lineage per graph — Store
+// enforces this with a mutex; concurrent CloneCOW mutations of the same
+// ancestry are a data race.
+func (g *Graph) CloneCOW() *Graph {
+	if !g.frozen {
+		panic("rdfgraph: CloneCOW of unfrozen graph")
+	}
+	out := &Graph{
+		dict:   g.dict.Extend(),
+		spo:    make(map[ID]map[ID]map[ID]struct{}, len(g.spo)),
+		ops:    make(map[ID]map[ID]map[ID]struct{}, len(g.ops)),
+		byPred: make(map[ID][]Edge, len(g.byPred)),
+		size:   g.size,
+		cowS:   make(map[ID]struct{}),
+		cowO:   make(map[ID]struct{}),
+	}
+	for s, po := range g.spo {
+		out.spo[s] = po
+	}
+	for o, ps := range g.ops {
+		out.ops[o] = ps
+	}
+	for p, es := range g.byPred {
+		out.byPred[p] = es
+	}
+	return out
+}
 
 // Clone returns a deep copy of the graph sharing no mutable state. The
 // dictionary is rebuilt, so IDs in the clone are generally different.

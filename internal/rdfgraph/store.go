@@ -1,0 +1,197 @@
+package rdfgraph
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"shaclfrag/internal/rdf"
+)
+
+// Snapshot is one immutable epoch of a Store: a frozen Graph plus the epoch
+// number under which it was published. Epochs start at 1 and increase by one
+// per effective update, so they order snapshots and key cache entries.
+type Snapshot struct {
+	g     *Graph
+	epoch uint64
+}
+
+// Graph returns the frozen graph of this epoch.
+func (s *Snapshot) Graph() *Graph { return s.g }
+
+// Epoch returns the epoch number.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Delta is a batch of triple additions and deletions applied atomically.
+// Deletions run first, so a triple in both lists ends up present.
+// Deleting an absent triple (including one naming unknown terms) is a
+// no-op, and adding a present triple is a no-op; only effective operations
+// count toward ApplyResult.
+type Delta struct {
+	Add []rdf.Triple
+	Del []rdf.Triple
+}
+
+// Store owns a sequence of immutable graph snapshots and publishes new
+// epochs atomically. Readers call Current and use that snapshot for the
+// whole request — they never block on writers, and a snapshot never
+// changes under them. Writers are serialized by an internal mutex;
+// each Apply builds the next epoch as a copy-on-write clone of the
+// current one (see Graph.CloneCOW), so unchanged index submaps and the
+// dictionary are shared across epochs and IDs remain stable.
+type Store struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Snapshot]
+}
+
+// NewStore wraps g as epoch 1, freezing it if needed.
+func NewStore(g *Graph) *Store {
+	g.Freeze()
+	st := &Store{}
+	st.cur.Store(&Snapshot{g: g, epoch: 1})
+	return st
+}
+
+// Current returns the latest published snapshot. The returned snapshot is
+// immutable and remains valid (and consistent) indefinitely; callers
+// serving a request should call Current once and use that snapshot for
+// every read of the request.
+func (st *Store) Current() *Snapshot { return st.cur.Load() }
+
+// ApplyResult reports what an Apply did.
+type ApplyResult struct {
+	// Snapshot is the snapshot current after the call: the freshly
+	// published epoch, or the previous one when the delta was a no-op.
+	Snapshot *Snapshot
+	// Added and Deleted count effective operations (duplicates and
+	// absent deletions excluded).
+	Added, Deleted int
+	// Changed reports whether a new epoch was published.
+	Changed bool
+	// Unaffected reports whether a node's weakly-connected component —
+	// over the union of the previous epoch's edges and the added edges —
+	// contains no endpoint of an effective delta triple. Every Table 2
+	// extraction rule walks edges from the focus node, so both B(v,G,φ)
+	// and v's conformance depend only on v's component: an Unaffected
+	// node has the identical neighborhood and verdict in both epochs,
+	// which is what lets a cache carry its entries forward. IDs must
+	// come from the new snapshot's dictionary (the previous epoch's IDs
+	// are valid there too). Unaffected is safe for concurrent use.
+	Unaffected func(ID) bool
+}
+
+// Apply builds and publishes the next epoch from the current one. A no-op
+// delta publishes nothing and returns the current snapshot with
+// Changed=false. Apply never blocks readers: they keep resolving Current
+// against the old epoch until the new pointer is stored.
+func (st *Store) Apply(d Delta) ApplyResult {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	old := st.cur.Load()
+	ng := old.g.CloneCOW()
+	var added, deleted int
+	var touched []ID
+	for _, t := range d.Del {
+		s := ng.LookupTerm(t.S)
+		p := ng.LookupTerm(t.P)
+		o := ng.LookupTerm(t.O)
+		if s == NoID || p == NoID || o == NoID {
+			continue
+		}
+		if ng.RemoveIDs(s, p, o) {
+			deleted++
+			touched = append(touched, s, o)
+		}
+	}
+	type addedEdge struct{ s, o ID }
+	var newEdges []addedEdge
+	for _, t := range d.Add {
+		s := ng.TermID(t.S)
+		p := ng.TermID(t.P)
+		o := ng.TermID(t.O)
+		if ng.AddIDs(s, p, o) {
+			added++
+			touched = append(touched, s, o)
+			newEdges = append(newEdges, addedEdge{s, o})
+		}
+	}
+	if added == 0 && deleted == 0 {
+		// No state was mutated (duplicate adds and absent deletions
+		// return before touching any index), so the clone is discarded.
+		return ApplyResult{
+			Snapshot:   old,
+			Unaffected: func(ID) bool { return true },
+		}
+	}
+
+	// Components over old edges ∪ added edges: old edges keep nodes that
+	// could reach a deleted triple connected to it, added edges connect
+	// previously separate components the new triples now bridge.
+	uf := newUnionFind(ng.Dict().Len())
+	old.g.EachTriple(func(s, _, o ID) { uf.union(s, o) })
+	for _, e := range newEdges {
+		uf.union(e.s, e.o)
+	}
+	uf.compress()
+	dirty := make(map[ID]struct{}, len(touched))
+	for _, id := range touched {
+		dirty[uf.root(id)] = struct{}{}
+	}
+
+	ng.Freeze()
+	snap := &Snapshot{g: ng, epoch: old.epoch + 1}
+	st.cur.Store(snap)
+	return ApplyResult{
+		Snapshot: snap,
+		Added:    added,
+		Deleted:  deleted,
+		Changed:  true,
+		Unaffected: func(id ID) bool {
+			if int(id) < 0 || int(id) >= len(uf.parent) {
+				return false
+			}
+			_, hit := dirty[uf.root(id)]
+			return !hit
+		},
+	}
+}
+
+// unionFind is a standard disjoint-set forest over dense IDs. After
+// compress, every parent pointer is a root, so root is a single read and
+// the structure is safe for concurrent lookups.
+type unionFind struct {
+	parent []ID
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]ID, n)}
+	for i := range uf.parent {
+		uf.parent[i] = ID(i)
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x ID) ID {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b ID) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		uf.parent[ra] = rb
+	}
+}
+
+// compress points every element directly at its root; afterwards root does
+// no writes and may be called from any number of goroutines.
+func (uf *unionFind) compress() {
+	for i := range uf.parent {
+		uf.parent[ID(i)] = uf.find(ID(i))
+	}
+}
+
+func (uf *unionFind) root(x ID) ID { return uf.parent[x] }

@@ -1,0 +1,305 @@
+package rdfgraph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"shaclfrag/internal/rdf"
+)
+
+func tr(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)}
+}
+
+func storeFrom(t *testing.T, triples ...rdf.Triple) *Store {
+	t.Helper()
+	return NewStore(FromTriples(triples))
+}
+
+func TestStoreApplyAddDelete(t *testing.T) {
+	st := storeFrom(t, tr("a", "p", "b"), tr("c", "p", "d"))
+	s1 := st.Current()
+	if s1.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d, want 1", s1.Epoch())
+	}
+
+	res := st.Apply(Delta{
+		Add: []rdf.Triple{tr("a", "p", "e")},
+		Del: []rdf.Triple{tr("c", "p", "d")},
+	})
+	if !res.Changed || res.Added != 1 || res.Deleted != 1 {
+		t.Fatalf("ApplyResult = %+v, want changed with 1 add / 1 delete", res)
+	}
+	s2 := res.Snapshot
+	if s2.Epoch() != 2 {
+		t.Fatalf("new epoch = %d, want 2", s2.Epoch())
+	}
+	if got := st.Current(); got != s2 {
+		t.Fatalf("Current() did not advance to the new snapshot")
+	}
+
+	// The old snapshot is untouched.
+	if !s1.Graph().Has(tr("c", "p", "d")) || s1.Graph().Has(tr("a", "p", "e")) {
+		t.Fatalf("old snapshot mutated by Apply")
+	}
+	if s1.Graph().Len() != 2 {
+		t.Fatalf("old snapshot len = %d, want 2", s1.Graph().Len())
+	}
+	// The new one has the delta.
+	if s2.Graph().Has(tr("c", "p", "d")) || !s2.Graph().Has(tr("a", "p", "e")) {
+		t.Fatalf("new snapshot missing the delta")
+	}
+	if s2.Graph().Len() != 2 {
+		t.Fatalf("new snapshot len = %d, want 2", s2.Graph().Len())
+	}
+}
+
+func TestStoreIDsStableAcrossEpochs(t *testing.T) {
+	st := storeFrom(t, tr("a", "p", "b"))
+	s1 := st.Current()
+	idA := s1.Graph().LookupTerm(iri("a"))
+	res := st.Apply(Delta{Add: []rdf.Triple{tr("x", "q", "y")}})
+	s2 := res.Snapshot
+	if got := s2.Graph().LookupTerm(iri("a")); got != idA {
+		t.Fatalf("ID of a changed across epochs: %d -> %d", idA, got)
+	}
+	if s2.Graph().Term(idA) != iri("a") {
+		t.Fatalf("Term(%d) = %v in new epoch, want a", idA, s2.Graph().Term(idA))
+	}
+	// New terms resolve in the new epoch only.
+	idX := s2.Graph().LookupTerm(iri("x"))
+	if idX == NoID {
+		t.Fatalf("x not interned in new epoch")
+	}
+	if got := s1.Graph().LookupTerm(iri("x")); got != NoID {
+		t.Fatalf("old epoch resolves new term x to %d, want NoID", got)
+	}
+}
+
+func TestStoreNoOpDelta(t *testing.T) {
+	st := storeFrom(t, tr("a", "p", "b"))
+	s1 := st.Current()
+	res := st.Apply(Delta{
+		Add: []rdf.Triple{tr("a", "p", "b")},          // duplicate
+		Del: []rdf.Triple{tr("nope", "nope", "nope")}, // absent
+	})
+	if res.Changed || res.Added != 0 || res.Deleted != 0 {
+		t.Fatalf("no-op delta changed the store: %+v", res)
+	}
+	if res.Snapshot != s1 || st.Current() != s1 {
+		t.Fatalf("no-op delta republished a snapshot")
+	}
+	if !res.Unaffected(s1.Graph().LookupTerm(iri("a"))) {
+		t.Fatalf("no-op delta marked a node affected")
+	}
+}
+
+func TestStoreDeleteThenAddSameTriple(t *testing.T) {
+	st := storeFrom(t, tr("a", "p", "b"))
+	res := st.Apply(Delta{
+		Del: []rdf.Triple{tr("a", "p", "b")},
+		Add: []rdf.Triple{tr("a", "p", "b")},
+	})
+	// Deletions run first, so the triple survives.
+	if !res.Snapshot.Graph().Has(tr("a", "p", "b")) {
+		t.Fatalf("triple in both Add and Del must end up present")
+	}
+	if res.Added != 1 || res.Deleted != 1 {
+		t.Fatalf("counts = %+v, want 1/1", res)
+	}
+}
+
+func TestStoreUnaffectedComponents(t *testing.T) {
+	// Two components: {a,b} via p, {c,d} via p. The delta touches only
+	// the first.
+	st := storeFrom(t, tr("a", "p", "b"), tr("c", "p", "d"))
+	g1 := st.Current().Graph()
+	idA := g1.LookupTerm(iri("a"))
+	idB := g1.LookupTerm(iri("b"))
+	idC := g1.LookupTerm(iri("c"))
+	idD := g1.LookupTerm(iri("d"))
+
+	res := st.Apply(Delta{Add: []rdf.Triple{tr("a", "p", "e")}})
+	for _, tc := range []struct {
+		name string
+		id   ID
+		want bool
+	}{
+		{"a touched", idA, false},
+		{"b same component", idB, false},
+		{"c other component", idC, true},
+		{"d other component", idD, true},
+	} {
+		if got := res.Unaffected(tc.id); got != tc.want {
+			t.Errorf("Unaffected(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestStoreUnaffectedBridgingAdd(t *testing.T) {
+	// The added edge bridges the two components: both become affected.
+	st := storeFrom(t, tr("a", "p", "b"), tr("c", "p", "d"))
+	g1 := st.Current().Graph()
+	idA := g1.LookupTerm(iri("a"))
+	idD := g1.LookupTerm(iri("d"))
+	res := st.Apply(Delta{Add: []rdf.Triple{tr("b", "q", "c")}})
+	if res.Unaffected(idA) {
+		t.Fatalf("a is connected to the new edge via b; must be affected")
+	}
+	if res.Unaffected(idD) {
+		t.Fatalf("d is connected to the new edge via c; must be affected")
+	}
+}
+
+func TestStoreUnaffectedDeleteKeepsOldComponent(t *testing.T) {
+	// Deleting the only edge of {a,b} must mark both affected, even
+	// though in the *new* graph they are isolated.
+	st := storeFrom(t, tr("a", "p", "b"), tr("c", "p", "d"))
+	g1 := st.Current().Graph()
+	idA := g1.LookupTerm(iri("a"))
+	idB := g1.LookupTerm(iri("b"))
+	idC := g1.LookupTerm(iri("c"))
+	res := st.Apply(Delta{Del: []rdf.Triple{tr("a", "p", "b")}})
+	if res.Unaffected(idA) || res.Unaffected(idB) {
+		t.Fatalf("endpoints of a deleted triple must be affected")
+	}
+	if !res.Unaffected(idC) {
+		t.Fatalf("untouched component must stay unaffected")
+	}
+}
+
+func TestStoreCOWSharesUntouchedSubmaps(t *testing.T) {
+	// Mutating epoch 2 must leave epoch 1's indexes byte-identical; we
+	// check observable equivalence: every accessor of the old snapshot
+	// returns the pre-update answer after a long chain of updates.
+	st := storeFrom(t, tr("a", "p", "b"), tr("c", "p", "d"), tr("c", "q", "a"))
+	s1 := st.Current()
+	want := s1.Graph().Triples()
+
+	for i := 0; i < 10; i++ {
+		st.Apply(Delta{
+			Add: []rdf.Triple{tr(fmt.Sprintf("n%d", i), "p", "b")},
+			Del: []rdf.Triple{tr(fmt.Sprintf("n%d", i-1), "p", "b")},
+		})
+	}
+	got := s1.Graph().Triples()
+	if len(got) != len(want) {
+		t.Fatalf("old snapshot changed: %d triples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("old snapshot triple %d changed: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Deep chains flatten the dictionary; lookups must still agree.
+	if st.Current().Epoch() != 11 {
+		t.Fatalf("epoch = %d, want 11", st.Current().Epoch())
+	}
+	if id := st.Current().Graph().LookupTerm(iri("a")); id != s1.Graph().LookupTerm(iri("a")) {
+		t.Fatalf("dictionary flatten changed an ID")
+	}
+}
+
+func TestStoreRemoveCleansIndexes(t *testing.T) {
+	st := storeFrom(t, tr("a", "p", "b"))
+	res := st.Apply(Delta{Del: []rdf.Triple{tr("a", "p", "b")}})
+	g := res.Snapshot.Graph()
+	if g.Len() != 0 {
+		t.Fatalf("len = %d, want 0", g.Len())
+	}
+	idA := g.LookupTerm(iri("a"))
+	idB := g.LookupTerm(iri("b"))
+	if g.IsNode(idA) || g.IsNode(idB) {
+		t.Fatalf("removed triple left nodes behind in the indexes")
+	}
+	if n := len(g.NodeIDs()); n != 0 {
+		t.Fatalf("NodeIDs() has %d entries, want 0", n)
+	}
+	idP := g.LookupTerm(iri("p"))
+	if es := g.EdgesByPredicate(idP); len(es) != 0 {
+		t.Fatalf("byPred kept %d edges for a fully deleted predicate", len(es))
+	}
+}
+
+func TestStoreConcurrentReadersDuringApply(t *testing.T) {
+	st := storeFrom(t, tr("a", "p", "b"), tr("c", "p", "d"))
+	const updates = 50
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := st.Current()
+				g := snap.Graph()
+				// A snapshot must be internally consistent: size
+				// equals what EachTriple visits, and every triple
+				// decodes through the dictionary.
+				n := 0
+				g.EachTriple(func(s, p, o ID) {
+					_ = g.Term(s)
+					_ = g.Term(p)
+					_ = g.Term(o)
+					n++
+				})
+				if n != g.Len() {
+					t.Errorf("snapshot inconsistent: visited %d, Len=%d", n, g.Len())
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < updates; i++ {
+		st.Apply(Delta{Add: []rdf.Triple{tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i))}})
+		if i%3 == 0 {
+			st.Apply(Delta{Del: []rdf.Triple{tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i))}})
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// updates adds plus one delete for every i%3==0 (i in [0,50) → 17),
+	// on top of the initial epoch 1.
+	if got, want := st.Current().Epoch(), uint64(1+updates+17); got != want {
+		t.Fatalf("final epoch = %d, want %d", got, want)
+	}
+}
+
+func TestCloneCOWRequiresFrozen(t *testing.T) {
+	g := FromTriples([]rdf.Triple{tr("a", "p", "b")})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("CloneCOW of unfrozen graph must panic")
+		}
+	}()
+	g.CloneCOW()
+}
+
+func TestRemoveOnMutableGraph(t *testing.T) {
+	g := FromTriples([]rdf.Triple{tr("a", "p", "b"), tr("a", "p", "c")})
+	if !g.Remove(tr("a", "p", "b")) {
+		t.Fatalf("Remove of present triple = false")
+	}
+	if g.Remove(tr("a", "p", "b")) {
+		t.Fatalf("second Remove of same triple = true")
+	}
+	if g.Remove(tr("zzz", "p", "b")) {
+		t.Fatalf("Remove with unknown term = true")
+	}
+	if g.Len() != 1 || !g.Has(tr("a", "p", "c")) {
+		t.Fatalf("graph after removal: len=%d", g.Len())
+	}
+	// Removal must never intern: the dictionary size is unchanged by the
+	// unknown-term removal above.
+	before := g.Dict().Len()
+	g.Remove(rdf.Triple{S: iri("unseen1"), P: iri("unseen2"), O: iri("unseen3")})
+	if g.Dict().Len() != before {
+		t.Fatalf("Remove interned unknown terms")
+	}
+}

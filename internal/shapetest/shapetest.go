@@ -21,6 +21,29 @@ func IRI(local string) rdf.Term { return rdf.NewIRI(Base + local) }
 var nodeNames = []string{"a", "b", "c", "d", "e", "f"}
 var propNames = []string{"p", "q", "r"}
 
+// RandomTerm generates a random term across all three kinds. The universe
+// is deliberately tiny so that collisions — equal values with different
+// kinds, datatypes or language tags — are likely, which is where ordering
+// and equality edge cases live.
+func RandomTerm(rng *rand.Rand) rdf.Term {
+	v := nodeNames[rng.Intn(3)]
+	switch rng.Intn(6) {
+	case 0:
+		return IRI(nodeNames[rng.Intn(len(nodeNames))])
+	case 1:
+		return rdf.NewBlank(v)
+	case 2:
+		return rdf.NewString(v)
+	case 3:
+		return rdf.NewLangString(v, []string{"en", "nl", "en-us"}[rng.Intn(3)])
+	case 4:
+		return rdf.NewInteger(int64(rng.Intn(3)))
+	default:
+		return rdf.NewTypedLiteral(v,
+			[]string{rdf.XSDDecimal, rdf.XSDBoolean, rdf.XSDString}[rng.Intn(3)])
+	}
+}
+
 // RandomGraph generates a graph with roughly the given number of edges over
 // a small universe of nodes and properties, mixing in literal objects with
 // and without language tags so that uniqueLang/lessThan shapes are

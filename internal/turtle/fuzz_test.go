@@ -1,0 +1,124 @@
+package turtle
+
+import (
+	"testing"
+
+	"shaclfrag/internal/rdf"
+)
+
+// roundTrip parses input and, if it parses, asserts the
+// parse → FormatNTriples → parse cycle is lossless and a fixed point.
+// Inputs that fail to parse are out of scope — the property under test is
+// that nothing the parser ACCEPTS can be mangled by the serializer.
+func roundTrip(t *testing.T, input string) {
+	t.Helper()
+	ts, err := ParseTriples(input)
+	if err != nil {
+		return
+	}
+	out := FormatNTriples(ts)
+	ts2, err := ParseTriples(out)
+	if err != nil {
+		t.Fatalf("serialized form does not re-parse: %v\ninput:      %q\nserialized: %q", err, input, out)
+	}
+	if len(ts2) != len(ts) {
+		t.Fatalf("round-trip changed triple count %d → %d\ninput:      %q\nserialized: %q", len(ts), len(ts2), input, out)
+	}
+	for i := range ts {
+		if ts[i] != ts2[i] {
+			t.Fatalf("round-trip changed triple %d:\n  was %#v\n  now %#v\ninput:      %q\nserialized: %q",
+				i, ts[i], ts2[i], input, out)
+		}
+	}
+	// And serialization of the re-parse is a fixed point.
+	if out2 := FormatNTriples(ts2); out2 != out {
+		t.Fatalf("serialization is not a fixed point:\n  first  %q\n  second %q", out, out2)
+	}
+}
+
+// FuzzParseSerialize fuzzes the parse/serialize round trip. The seeds pin
+// the historically fragile corners: control characters and escapes, quote
+// runs at the end of long strings, the numeric and boolean shorthands,
+// language-tag case, and @prefix-as-language-tag.
+func FuzzParseSerialize(f *testing.F) {
+	for _, seed := range []string{
+		`<http://a> <http://b> <http://c> .`,
+		`<http://a> <http://b> "plain" .`,
+		"<http://a> <http://b> \"tab\\there\\nand\\rthere\" .",
+		"<http://a> <http://b> \"\\u0007bell \\u0000nul \\u001Besc\" .",
+		"<http://a> <http://b> \"\\b\\f\" .",
+		`<http://a> <http://b> "backslash \\ quote \" done" .`,
+		"<http://a> <http://b> \"\"\"long with \" one and \"\" two\"\"\" .",
+		`<http://a> <http://b> """ends in quote"""" .`,
+		`<http://a> <http://b> """""""" .`,
+		"<http://a> <http://b> '''single-quoted long''' .",
+		"<http://a> <http://b> \"\"\"line\nbreak\"\"\" .",
+		`@prefix ex: <http://ex/> . ex:a ex:b 1.5, -2, +07, 6e7, 1.0E-3, true, false .`,
+		`<http://a> <http://b> "chat"@EN-us .`,
+		`<http://a> <http://b> "x"@PREFIX .`,
+		`<http://a> <http://b> "y"@base .`,
+		`<http://a> <http://b> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		"@base <http://base/> . <#frag> <http://p> \"x\" .",
+		`_:b1 <http://p> [ <http://q> ( 1 2 3 ) ] .`,
+		`<http://a> <http://b> "snow\u2603man ☃" .`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		roundTrip(t, input)
+	})
+}
+
+// TestRoundTripRegressions pins the specific divergences the fuzz target
+// exists to guard, as named deterministic cases.
+func TestRoundTripRegressions(t *testing.T) {
+	t.Run("long string quote runs", func(t *testing.T) {
+		ts, err := ParseTriples(`<http://a> <http://b> """x"""" .`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := rdf.NewString(`x"`); ts[0].O != want {
+			t.Fatalf("got %#v, want %#v", ts[0].O, want)
+		}
+		ts, err = ParseTriples(`<http://a> <http://b> """""x""" .`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := rdf.NewString(`""x`); ts[0].O != want {
+			t.Fatalf("got %#v, want %#v", ts[0].O, want)
+		}
+	})
+	t.Run("control characters escape", func(t *testing.T) {
+		term := rdf.NewString("\u0007a\bb\fc\u0000")
+		roundTrip(t, FormatNTriples([]rdf.Triple{
+			{S: rdf.NewIRI("http://a"), P: rdf.NewIRI("http://b"), O: term},
+		}))
+	})
+	t.Run("invalid UTF-8 rejected", func(t *testing.T) {
+		for _, bad := range []string{
+			"<http://a> <http://b> \"\xff\" .",
+			"<http://a> <http://b> \"\"\"\xc3\x28\"\"\" .",
+			"<http://a\xff> <http://b> \"x\" .",
+		} {
+			if _, err := ParseTriples(bad); err == nil {
+				t.Errorf("invalid UTF-8 accepted: %q", bad)
+			}
+		}
+	})
+	t.Run("lang tag keywords and case", func(t *testing.T) {
+		ts, err := ParseTriples(`<http://a> <http://b> "x"@PREFIX, "y"@Base, "z"@EN-us .`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range []rdf.Term{
+			rdf.NewLangString("x", "prefix"),
+			rdf.NewLangString("y", "base"),
+			rdf.NewLangString("z", "en-us"),
+		} {
+			if ts[i].O != want {
+				t.Errorf("object %d: got %#v, want %#v", i, ts[i].O, want)
+			}
+		}
+		roundTrip(t, `<http://a> <http://b> "x"@PREFIX .`)
+	})
+}

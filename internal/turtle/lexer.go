@@ -108,6 +108,9 @@ func (l *lexer) next() (token, error) {
 		}
 		iri := l.input[start+1 : l.pos]
 		l.pos++
+		if !utf8.ValidString(iri) {
+			return token{}, l.errorf("IRI is not valid UTF-8")
+		}
 		return token{kind: tokIRI, text: iri, line: l.line}, nil
 
 	case c == '"' || c == '\'':
@@ -141,10 +144,13 @@ func (l *lexer) next() (token, error) {
 		}
 		word := l.input[w:l.pos]
 		switch word {
+		// The directive tokens keep their word so the parser can undo the
+		// classification: after a literal, @prefix/@base is a language tag
+		// (the W3C grammar admits directives only in statement position).
 		case "prefix":
-			return token{kind: tokPrefixDirective, line: l.line}, nil
+			return token{kind: tokPrefixDirective, text: word, line: l.line}, nil
 		case "base":
-			return token{kind: tokBaseDirective, line: l.line}, nil
+			return token{kind: tokBaseDirective, text: word, line: l.line}, nil
 		case "":
 			return token{}, l.errorf("empty language tag")
 		default:
@@ -257,9 +263,25 @@ func (l *lexer) lexString(quote byte) (token, error) {
 			continue
 		}
 		if long {
-			if c == quote && strings.HasPrefix(l.input[l.pos:], strings.Repeat(string(quote), 3)) {
-				l.pos += 3
-				return token{kind: tokLiteral, text: b.String(), line: l.line}, nil
+			if c == quote {
+				// Count the whole quote run: fewer than three are literal
+				// quotes; otherwise the run's final three close the string
+				// and the rest belong to its value ("""x"""" is x").
+				run := 0
+				for l.pos+run < len(l.input) && l.input[l.pos+run] == quote {
+					run++
+				}
+				l.pos += run
+				if run < 3 {
+					for i := 0; i < run; i++ {
+						b.WriteByte(quote)
+					}
+					continue
+				}
+				for i := 0; i < run-3; i++ {
+					b.WriteByte(quote)
+				}
+				return l.literalToken(b.String())
 			}
 			if c == '\n' {
 				l.line++
@@ -270,7 +292,7 @@ func (l *lexer) lexString(quote byte) (token, error) {
 		}
 		if c == quote {
 			l.pos++
-			return token{kind: tokLiteral, text: b.String(), line: l.line}, nil
+			return l.literalToken(b.String())
 		}
 		if c == '\n' {
 			return token{}, l.errorf("newline in string literal")
@@ -279,6 +301,16 @@ func (l *lexer) lexString(quote byte) (token, error) {
 		l.pos++
 	}
 	return token{}, l.errorf("unterminated string literal")
+}
+
+// literalToken validates a finished string literal. Rejecting invalid
+// UTF-8 here keeps parse→serialize→parse a fixed point: the serializer
+// could not re-emit such bytes without mangling them into U+FFFD.
+func (l *lexer) literalToken(s string) (token, error) {
+	if !utf8.ValidString(s) {
+		return token{}, l.errorf("string literal is not valid UTF-8")
+	}
+	return token{kind: tokLiteral, text: s, line: l.line}, nil
 }
 
 func (l *lexer) lexNumber() (token, error) {

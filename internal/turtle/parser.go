@@ -285,6 +285,16 @@ func (p *parser) literal() (rdf.Term, error) {
 	case tokLangTag:
 		lang := p.tok.text
 		return rdf.NewLangString(lex, lang), p.advance()
+	case tokPrefixDirective, tokBaseDirective:
+		// Directly after a literal, @prefix / @base is a language tag,
+		// not a directive — the W3C grammar admits directives only in
+		// statement position. Without this, "x"@PREFIX would serialize
+		// as "x"@prefix and then fail to re-parse.
+		if p.tok.text != "" { // only the @-form carries its word
+			lang := p.tok.text
+			return rdf.NewLangString(lex, lang), p.advance()
+		}
+		return rdf.NewString(lex), nil
 	case tokDoubleCaret:
 		if err := p.advance(); err != nil {
 			return rdf.Term{}, err
@@ -292,6 +302,12 @@ func (p *parser) literal() (rdf.Term, error) {
 		dt, err := p.iriTerm()
 		if err != nil {
 			return rdf.Term{}, err
+		}
+		// An empty datatype IRI ("x"^^<>) is indistinguishable from a
+		// plain literal once serialized; normalize it to xsd:string so
+		// parse → serialize → parse is a fixed point.
+		if dt.Value == "" {
+			return rdf.NewString(lex), nil
 		}
 		return rdf.NewTypedLiteral(lex, dt.Value), nil
 	default:

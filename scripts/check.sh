@@ -70,4 +70,16 @@ explain -node http://tourism.example/seehof -json \
 echo "== benchjson smoke"
 $GO run ./cmd/benchjson -smoke -bench 'Fig|Tab'
 
+echo "== benchmark trajectory present"
+# The perf trajectory lives in repo-root BENCH_<n>.json snapshots
+# (written by `make bench-json`); an empty trajectory means regressions
+# have no baseline to diff against.
+if ! ls BENCH_*.json >/dev/null 2>&1; then
+    echo "no repo-root BENCH_*.json snapshot; run 'make bench-json'" >&2
+    exit 1
+fi
+
+echo "== turtle round-trip fuzz (5s smoke)"
+$GO test -run '^$' -fuzz FuzzParseSerialize -fuzztime 5s ./internal/turtle
+
 echo "check: OK"
