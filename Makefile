@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-json-smoke check clean cover
+.PHONY: build test race vet bench bench-json bench-json-smoke bench-sharded bench-sharded-10m check clean cover
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,19 @@ bench-json:
 # the parser still reads their output, writes nothing. Part of `make check`.
 bench-json-smoke:
 	$(GO) run ./cmd/benchjson -smoke -bench 'Fig|Tab'
+
+# Store-tier shard sweep at serving scale: the sharded backend (1/4/16
+# shards) against the single backend, snapshotted into the trajectory.
+bench-sharded:
+	$(GO) run ./cmd/benchjson -bench FragmentSharded -benchtime 2s -dir . \
+		-meta backend=store-sweep -meta shards=1,4,16
+
+# The 10M-triple scale acceptance run: streamed sharded load (triples/s)
+# plus one-shape extraction at 1/4/16 shards. Needs ~15 GiB of heap and
+# tens of minutes; writes one trajectory snapshot.
+bench-sharded-10m:
+	SHACLFRAG_SCALE_10M=1 $(GO) run ./cmd/benchjson -bench Sharded10M -benchtime 1x -dir . \
+		-meta backend=sharded -meta triples=10000000 -meta shards=1,4,16
 
 # Full CI gate: gofmt, vet, build, race tests on the serving-path
 # packages, the whole test suite, and `shaclfrag lint` over examples/

@@ -36,23 +36,30 @@ import (
 	"time"
 )
 
-// Result is one parsed benchmark line.
+// Result is one parsed benchmark line. Custom b.ReportMetric series
+// (any unit the standard pairs don't claim, e.g. triples/s from the
+// sharded load benchmarks) are preserved under Metrics.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Snapshot is the schema of one BENCH_<n>.json file.
 type Snapshot struct {
-	GitSHA    string   `json:"git_sha"`
-	GoVersion string   `json:"go_version"`
-	Bench     string   `json:"bench"`
-	Benchtime string   `json:"benchtime"`
-	StartedAt string   `json:"started_at"`
-	Results   []Result `json:"results"`
+	GitSHA    string `json:"git_sha"`
+	GoVersion string `json:"go_version"`
+	Bench     string `json:"bench"`
+	Benchtime string `json:"benchtime"`
+	StartedAt string `json:"started_at"`
+	// Meta carries run conditions the benchmark names alone don't encode
+	// (-meta key=value, repeatable): typically the storage backend, shard
+	// counts and triple scale of a store-tier sweep.
+	Meta    map[string]string `json:"meta,omitempty"`
+	Results []Result          `json:"results"`
 }
 
 func main() {
@@ -62,6 +69,15 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
 	dir := flag.String("dir", ".", "output directory for BENCH_<n>.json snapshots (default: repo root, where the trajectory is read)")
 	smoke := flag.Bool("smoke", false, "run each benchmark once, verify the output parses, write nothing")
+	meta := map[string]string{}
+	flag.Func("meta", "key=value annotation stored in the snapshot's meta block (repeatable; e.g. -meta backend=sharded -meta triples=10000000)", func(kv string) error {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("want key=value, got %q", kv)
+		}
+		meta[k] = v
+		return nil
+	})
 	flag.Parse()
 
 	if *smoke {
@@ -90,6 +106,9 @@ func main() {
 		StartedAt: time.Now().UTC().Format(time.RFC3339),
 		Results:   results,
 	}
+	if len(meta) > 0 {
+		snap.Meta = meta
+	}
 	path, err := writeSnapshot(*dir, snap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -103,7 +122,9 @@ func runBenchmarks(bench, benchtime string, count int, pkg string) ([]byte, erro
 	if gocmd == "" {
 		gocmd = "go"
 	}
-	cmd := exec.Command(gocmd, "test", "-run", "^$",
+	// -timeout=0: the per-benchmark budget is benchtime; the binary-wide
+	// default of 10m would kill long scale runs (BenchmarkSharded10M).
+	cmd := exec.Command(gocmd, "test", "-run", "^$", "-timeout", "0",
 		"-bench", bench, "-benchmem", "-benchtime", benchtime,
 		"-count", strconv.Itoa(count), pkg)
 	var buf bytes.Buffer
@@ -132,8 +153,8 @@ func parseBenchOutput(out string) []Result {
 			continue
 		}
 		r := Result{Name: m[1], Iterations: iters}
-		// The tail is (value, unit) pairs; unknown units are skipped so
-		// custom b.ReportMetric series don't break parsing.
+		// The tail is (value, unit) pairs; units beyond the standard three
+		// are custom b.ReportMetric series, kept under Metrics.
 		fields := strings.Fields(m[3])
 		for i := 0; i+1 < len(fields); i += 2 {
 			v := fields[i]
@@ -144,6 +165,15 @@ func parseBenchOutput(out string) []Result {
 				r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
 			case "allocs/op":
 				r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			default:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					continue
+				}
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[fields[i+1]] = f
 			}
 		}
 		results = append(results, r)

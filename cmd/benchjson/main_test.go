@@ -34,11 +34,17 @@ func TestParseBenchOutput(t *testing.T) {
 	if results[2].NsPerOp != 103456789.5 {
 		t.Errorf("fractional ns/op: %+v", results[2])
 	}
-	// Unknown units (custom ReportMetric series) are skipped, the known
-	// pairs around them still land.
+	// Custom ReportMetric series land under Metrics; the known pairs
+	// around them still land in their own fields.
 	c := results[3]
 	if c.NsPerOp != 1234 || c.BytesPerOp != 128 || c.AllocsPerOp != 2 {
 		t.Errorf("custom-metric line mismatch: %+v", c)
+	}
+	if got := c.Metrics["frags/op"]; got != 17 {
+		t.Errorf("custom metric frags/op = %v, want 17: %+v", got, c)
+	}
+	if results[0].Metrics != nil {
+		t.Errorf("standard line grew spurious metrics: %+v", results[0])
 	}
 	// Non-benchmark chatter contributes nothing.
 	if got := parseBenchOutput("PASS\nok \tx\t1s\n"); len(got) != 0 {

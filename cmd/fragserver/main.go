@@ -44,9 +44,10 @@ import (
 
 	"shaclfrag/internal/datagen"
 	"shaclfrag/internal/fragserver"
-	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/schema"
 	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/store"
 	"shaclfrag/internal/turtle"
 )
 
@@ -56,7 +57,10 @@ func main() {
 	dataPath := flag.String("data", "", "data graph (Turtle); empty serves a synthetic graph")
 	shapesPath := flag.String("shapes", "", "SHACL shapes graph (Turtle); empty uses the benchmark shapes")
 	individuals := flag.Int("individuals", 2000, "size of the synthetic graph when -data is empty")
+	scale := flag.Int("scale", 0, "approximate synthetic graph size in triples (overrides -individuals; streams into the store, so 10M+ loads within bounded memory)")
 	nshapes := flag.Int("shapes-count", 8, "number of benchmark shape definitions when -shapes is empty")
+	backend := flag.String("backend", "single", "storage backend: single or sharded")
+	shards := flag.Int("shards", 0, "shard count for -backend sharded (0 = default)")
 	workers := flag.Int("workers", 0, "parallel extraction workers (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 64, "maximum concurrently served requests")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request compute budget")
@@ -81,13 +85,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	g, h, err := load(*dataPath, *shapesPath, *individuals, *nshapes)
+	st, h, err := load(*dataPath, *shapesPath, *individuals, *scale, *nshapes, store.Config{Backend: *backend, Shards: *shards})
 	if err != nil {
 		fatal(logger, "loading graph and schema failed", err)
 	}
 
 	srv, err := fragserver.New(fragserver.Config{
-		Graph:             g,
+		Store:             st,
 		Schema:            h,
 		Workers:           *workers,
 		MaxInflight:       *maxInflight,
@@ -109,7 +113,8 @@ func main() {
 		fatal(logger, "listening failed", err)
 	}
 	logger.Info("serving shape fragments",
-		"addr", ln.Addr().String(), "triples", g.Len(), "shapes", h.Len())
+		"addr", ln.Addr().String(), "triples", st.Current().Reader().Len(),
+		"shapes", h.Len(), "backend", st.Backend(), "shards", st.NumShards())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -175,21 +180,12 @@ func serveDebug(addr string, srv *fragserver.Server, logger *slog.Logger) (func(
 	return func() { hs.Close() }, nil //nolint:errcheck — best-effort teardown
 }
 
-func load(dataPath, shapesPath string, individuals, nshapes int) (*rdfgraph.Graph, *schema.Schema, error) {
-	var g *rdfgraph.Graph
-	if dataPath != "" {
-		src, err := os.ReadFile(dataPath)
-		if err != nil {
-			return nil, nil, err
-		}
-		g, err = turtle.Parse(string(src))
-		if err != nil {
-			return nil, nil, err
-		}
-	} else {
-		g = datagen.Tyrol(datagen.TyrolConfig{Individuals: individuals, Seed: 1})
-	}
-
+// load builds the schema and the store. Synthetic graphs stream through a
+// store.Loader — triples go straight into the backend's indexes, never
+// through an intermediate slice — so -scale 10000000 loads within bounded
+// memory; Turtle files still parse into one graph first (the parser needs
+// the document in memory anyway) and are then wrapped in the backend.
+func load(dataPath, shapesPath string, individuals, scale, nshapes int, scfg store.Config) (store.Store, *schema.Schema, error) {
 	var h *schema.Schema
 	if shapesPath != "" {
 		src, err := os.ReadFile(shapesPath)
@@ -211,5 +207,33 @@ func load(dataPath, shapesPath string, individuals, nshapes int) (*rdfgraph.Grap
 			return nil, nil, err
 		}
 	}
-	return g, h, nil
+
+	if dataPath != "" {
+		src, err := os.ReadFile(dataPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := turtle.Parse(string(src))
+		if err != nil {
+			return nil, nil, err
+		}
+		store.WarmDictionary(g, h)
+		st, err := store.New(g, scfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return st, h, nil
+	}
+
+	if scale > 0 {
+		individuals = datagen.IndividualsForTriples(scale)
+	}
+	loader, err := store.NewLoader(scfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	datagen.TyrolStream(datagen.TyrolConfig{Individuals: individuals, Seed: 1},
+		func(t rdf.Triple) { loader.Add(t) })
+	store.WarmDictionary(loader.Reader(), h)
+	return loader.Finish(), h, nil
 }

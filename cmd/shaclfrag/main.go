@@ -25,6 +25,7 @@ import (
 	"shaclfrag/internal/core"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/shape"
+	"shaclfrag/internal/store"
 	"shaclfrag/internal/tpf"
 )
 
@@ -134,6 +135,9 @@ func cmdFragment(args []string) error {
 	baseIRI := fs.String("base", "", "base IRI for bare names in -request")
 	outPath := fs.String("o", "", "output file (default stdout)")
 	viaSPARQL := fs.Bool("sparql", false, "compute via the SPARQL translation instead of the direct extractor")
+	backend := fs.String("backend", "single", "storage backend for the direct extractor: single or sharded")
+	shards := fs.Int("shards", 0, "shard count for -backend sharded (0 = default)")
+	workers := fs.Int("workers", 0, "parallel extraction workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,7 +168,24 @@ func cmdFragment(args []string) error {
 	if *viaSPARQL {
 		frag = shaclfrag.FragmentViaSPARQL(g, h, requests...)
 	} else {
-		frag = shaclfrag.Fragment(g, h, requests...)
+		// The direct extractor speaks the store tier: the parsed graph
+		// becomes epoch 1 of the selected backend and extraction reads it
+		// through rdfgraph.Reader, so a sharded backend switches
+		// FragmentParallel to scatter-gather scheduling.
+		store.WarmShapes(g, requests...)
+		st, err := store.New(g, store.Config{Backend: *backend, Shards: *shards})
+		if err != nil {
+			return err
+		}
+		var defs shape.Defs
+		if h != nil {
+			defs = h
+		}
+		x := core.NewExtractor(st.Current().Reader(), defs)
+		frag, err = x.FragmentParallel(requests, core.ParallelOptions{Workers: *workers})
+		if err != nil {
+			return err
+		}
 	}
 	out := shaclfrag.FormatNTriples(frag)
 	if *outPath == "" {

@@ -85,7 +85,7 @@ var ConstraintKinds = []string{
 
 // Render formats the justification for human consumption, decoding IDs
 // through g's dictionary: "shape: constraint [focus <v>] (step qI <p>→ qJ)".
-func (j Justification) Render(g *rdfgraph.Graph) string {
+func (j Justification) Render(g rdfgraph.Reader) string {
 	var b strings.Builder
 	if j.Shape != (rdf.Term{}) {
 		b.WriteString(j.Shape.String())
@@ -123,7 +123,7 @@ type AttributionRecorder interface {
 // Safe for concurrent Record calls; reads are consistent once recording
 // has finished.
 type Explanation struct {
-	g  *rdfgraph.Graph
+	g  rdfgraph.Reader
 	mu sync.Mutex
 	// byTriple preserves first-recorded order per triple.
 	byTriple map[rdfgraph.IDTriple][]Justification
@@ -136,7 +136,7 @@ type explKey struct {
 }
 
 // NewExplanation returns an empty explanation over g's dictionary.
-func NewExplanation(g *rdfgraph.Graph) *Explanation {
+func NewExplanation(g rdfgraph.Reader) *Explanation {
 	return &Explanation{
 		g:        g,
 		byTriple: make(map[rdfgraph.IDTriple][]Justification),
@@ -156,7 +156,7 @@ func (e *Explanation) Record(t rdfgraph.IDTriple, j Justification) {
 }
 
 // Graph returns the graph whose dictionary decodes the recorded IDs.
-func (e *Explanation) Graph() *rdfgraph.Graph { return e.g }
+func (e *Explanation) Graph() rdfgraph.Reader { return e.g }
 
 // Len returns the number of distinct explained triples.
 func (e *Explanation) Len() int {

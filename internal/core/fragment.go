@@ -52,16 +52,16 @@ func (x *Extractor) FragmentSchema(h *schema.Schema) []rdf.Triple {
 
 // Neighborhood is a convenience wrapper: B(v, G, φ) in the context of defs
 // (which may be nil).
-func Neighborhood(g *rdfgraph.Graph, defs shape.Defs, v rdf.Term, phi shape.Shape) []rdf.Triple {
+func Neighborhood(g rdfgraph.Reader, defs shape.Defs, v rdf.Term, phi shape.Shape) []rdf.Triple {
 	return NewExtractor(g, defs).Neighborhood(v, phi)
 }
 
 // Fragment is a convenience wrapper: Frag(G, S) in the context of defs.
-func Fragment(g *rdfgraph.Graph, defs shape.Defs, requests ...shape.Shape) []rdf.Triple {
+func Fragment(g rdfgraph.Reader, defs shape.Defs, requests ...shape.Shape) []rdf.Triple {
 	return NewExtractor(g, defs).Fragment(requests)
 }
 
 // FragmentSchema is a convenience wrapper: Frag(G, H).
-func FragmentSchema(g *rdfgraph.Graph, h *schema.Schema) []rdf.Triple {
+func FragmentSchema(g rdfgraph.Reader, h *schema.Schema) []rdf.Triple {
 	return NewExtractor(g, h).FragmentSchema(h)
 }

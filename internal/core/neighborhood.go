@@ -67,7 +67,7 @@ type Extractor struct {
 // NewExtractor returns an extractor for g in the context of defs (which may
 // be nil). The provided evaluator caches are reused across all neighborhood
 // and fragment computations done through this extractor.
-func NewExtractor(g *rdfgraph.Graph, defs shape.Defs) *Extractor {
+func NewExtractor(g rdfgraph.Reader, defs shape.Defs) *Extractor {
 	return &Extractor{
 		ev:       shape.NewEvaluator(g, defs),
 		nnfCache: make(map[shape.Shape]shape.Shape),
@@ -88,7 +88,7 @@ func NewExtractorWith(ev *shape.Evaluator) *Extractor {
 func (x *Extractor) Evaluator() *shape.Evaluator { return x.ev }
 
 // Graph returns the data graph.
-func (x *Extractor) Graph() *rdfgraph.Graph { return x.ev.G }
+func (x *Extractor) Graph() rdfgraph.Reader { return x.ev.G }
 
 func (x *Extractor) nnf(phi shape.Shape) shape.Shape {
 	if n, ok := x.nnfCache[phi]; ok {

@@ -87,6 +87,11 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 	if workers == 1 || len(nodes) == 0 || len(requests) == 0 {
 		return x.fragmentSerial(requests, nnfs, nodes, opts)
 	}
+	if sg, ok := g.(ShardedReader); ok {
+		if parts := sg.ShardNodeIDs(); len(parts) > 1 {
+			return x.fragmentScatterGather(requests, nnfs, parts, len(nodes), workers, opts)
+		}
+	}
 
 	// Chunked work stealing over the (request, node-range) grid: chunks
 	// small enough to balance skewed neighborhoods, large enough that the
@@ -136,6 +141,94 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 	}
 	stopMerge := startStage(opts.Tracer, "merge")
 	defer stopMerge()
+	merged := outs[0]
+	for _, o := range outs[1:] {
+		merged.AddSet(o)
+	}
+	return merged.Triples(g.Dict()), nil
+}
+
+// ShardedReader is the optional interface a sharded graph reader exposes
+// (store.ShardedGraph does): N(G) pre-partitioned by owner shard.
+// FragmentParallel detects it and switches to scatter-gather scheduling.
+type ShardedReader interface {
+	rdfgraph.Reader
+	// ShardNodeIDs returns N(G) partitioned by owner shard; parts are
+	// disjoint, each sorted, and their union is NodeIDs().
+	ShardNodeIDs() [][]rdfgraph.ID
+}
+
+// fragmentScatterGather is FragmentParallel's scheduling for sharded
+// readers. The scatter stage turns the per-shard node partition into a
+// shard-ordered work list, so consecutive work units hit the same shard's
+// indexes (forward steps of nodes owned by one shard resolve entirely in
+// that shard; only reverse steps fan out); workers then steal units
+// exactly as in the flat path. The gather stage is the same union of
+// per-worker triple sets as the flat path's merge, so the result is
+// byte-identical to Fragment's for any shard count — only the work order
+// differs, and the union is order-independent.
+func (x *Extractor) fragmentScatterGather(requests, nnfs []shape.Shape, parts [][]rdfgraph.ID, nnodes, workers int, opts ParallelOptions) ([]rdf.Triple, error) {
+	g := x.ev.G
+
+	// Scatter: chunk each shard's node list with the same granularity
+	// heuristic as the flat path, grouped by shard for index affinity.
+	stopScatter := startStage(opts.Tracer, "scatter")
+	chunk := nnodes / (workers * 8)
+	if chunk < 16 {
+		chunk = 16
+	}
+	type unit struct {
+		req   int
+		nodes []rdfgraph.ID
+	}
+	var units []unit
+	for _, part := range parts {
+		for lo := 0; lo < len(part); lo += chunk {
+			hi := lo + chunk
+			if hi > len(part) {
+				hi = len(part)
+			}
+			for req := range requests {
+				units = append(units, unit{req: req, nodes: part[lo:hi]})
+			}
+		}
+	}
+	stopScatter()
+
+	outs := make([]*rdfgraph.IDTripleSet, workers)
+	var next atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		out := rdfgraph.NewIDTripleSet()
+		outs[w] = out
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wx := NewExtractor(g, x.ev.Defs)
+			wx.rec = opts.Recorder
+			visited := make(map[VisitKey]struct{})
+			for {
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				u := int(next.Add(1)) - 1
+				if u >= len(units) {
+					return
+				}
+				wx.extractRange(requests[units[u].req], nnfs[units[u].req], units[u].nodes, out, visited, opts.Cache, opts.Epoch)
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return nil, opts.Ctx.Err()
+	}
+
+	// Gather: union the per-worker sets, then decode canonically.
+	stopGather := startStage(opts.Tracer, "gather")
+	defer stopGather()
 	merged := outs[0]
 	for _, o := range outs[1:] {
 		merged.AddSet(o)

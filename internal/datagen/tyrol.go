@@ -68,6 +68,37 @@ type TyrolConfig struct {
 
 // Tyrol generates the synthetic tourism knowledge graph.
 func Tyrol(cfg TyrolConfig) *rdfgraph.Graph {
+	g := rdfgraph.New()
+	TyrolStream(cfg, func(t rdf.Triple) { g.Add(t) })
+	return g
+}
+
+// TriplesPerIndividual is the approximate triple density of the generated
+// graph: IndividualsForTriples sizes a target triple count with it. The
+// exact count wobbles with the seed (amenity/review/knows fan-outs are
+// random), so treat derived sizes as ±2%; measured 7.24–7.25 at seed 1.
+const TriplesPerIndividual = 7.25
+
+// IndividualsForTriples returns the Individuals setting that generates
+// approximately the given number of triples — the -scale knob: callers ask
+// for a triple budget ("10M") instead of reverse-engineering entity counts.
+func IndividualsForTriples(triples int) int {
+	n := int(float64(triples) / TriplesPerIndividual)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TyrolStream generates the same triple sequence as Tyrol but emits each
+// triple to the callback instead of materializing a graph, so arbitrarily
+// large graphs can be streamed straight into a store.Loader (which builds
+// indexes in place) without an intermediate triple slice: peak memory is
+// the final store size. Duplicate triples may be emitted; graph-building
+// consumers dedupe by construction. The emission order and RNG consumption
+// are exactly Tyrol's, so a given (Individuals, Seed, DirtyRate) yields an
+// identical graph through either entry point.
+func TyrolStream(cfg TyrolConfig, emit func(rdf.Triple)) {
 	if cfg.Individuals <= 0 {
 		cfg.Individuals = 1000
 	}
@@ -75,13 +106,13 @@ func Tyrol(cfg TyrolConfig) *rdfgraph.Graph {
 		cfg.DirtyRate = 0.05
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	g := rdfgraph.New()
+	add := func(t rdf.Triple) { emit(t) }
 	typ := rdf.NewIRI(rdf.RDFType)
 
 	// Static class hierarchy.
 	sub := rdf.NewIRI(rdf.RDFSSubClassOf)
-	g.Add(rdf.T(ClassHotel, sub, ClassLodging))
-	g.Add(rdf.T(ClassHostel, sub, ClassLodging))
+	add(rdf.T(ClassHotel, sub, ClassLodging))
+	add(rdf.T(ClassHostel, sub, ClassLodging))
 
 	n := cfg.Individuals
 	counts := map[string]int{
@@ -104,114 +135,114 @@ func Tyrol(cfg TyrolConfig) *rdfgraph.Graph {
 		switch {
 		case dirty():
 			// Duplicate language tag: violates uniqueLang.
-			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "de")))
-			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name+" alt", "de")))
+			add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "de")))
+			add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name+" alt", "de")))
 		case dirty():
 			// Missing entirely: violates minCount.
 		default:
-			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "de")))
-			g.Add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "en")))
+			add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "de")))
+			add(rdf.T(s, rdf.NewIRI(PropName), rdf.NewLangString(name, "en")))
 		}
 	}
 
 	// Places form a district tree, exercised by zeroOrMore paths.
 	for i := 0; i < counts["place"]; i++ {
 		s := node("place", i)
-		g.Add(rdf.T(s, typ, ClassPlace))
+		add(rdf.T(s, typ, ClassPlace))
 		langName(s, "Place", i)
 		code := fmt.Sprintf("%04d", 6000+rng.Intn(999))
 		if dirty() {
 			code = "A" + code // violates the postal code pattern
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropPostalCode), rdf.NewString(code)))
+		add(rdf.T(s, rdf.NewIRI(PropPostalCode), rdf.NewString(code)))
 		if i > 0 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropInDistrict), node("place", rng.Intn(i))))
+			add(rdf.T(s, rdf.NewIRI(PropInDistrict), node("place", rng.Intn(i))))
 		}
 	}
 
 	for i := 0; i < counts["org"]; i++ {
 		s := node("org", i)
-		g.Add(rdf.T(s, typ, ClassOrganization))
+		add(rdf.T(s, typ, ClassOrganization))
 		langName(s, "Org", i)
 		legal := rdf.NewString(fmt.Sprintf("Org %d GmbH", i))
-		g.Add(rdf.T(s, rdf.NewIRI(PropLegalName), legal))
+		add(rdf.T(s, rdf.NewIRI(PropLegalName), legal))
 		if rng.Float64() < 0.5 {
 			// alias equals legalName for equals-constraints (dirty: differs).
 			if dirty() {
-				g.Add(rdf.T(s, rdf.NewIRI(PropAlias), rdf.NewString("Wrong Alias")))
+				add(rdf.T(s, rdf.NewIRI(PropAlias), rdf.NewString("Wrong Alias")))
 			} else {
-				g.Add(rdf.T(s, rdf.NewIRI(PropAlias), legal))
+				add(rdf.T(s, rdf.NewIRI(PropAlias), legal))
 			}
 		}
 		if i > 0 && rng.Float64() < 0.6 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropSubOrgOf), node("org", rng.Intn(i))))
+			add(rdf.T(s, rdf.NewIRI(PropSubOrgOf), node("org", rng.Intn(i))))
 		}
 	}
 
 	for i := 0; i < counts["person"]; i++ {
 		s := node("person", i)
-		g.Add(rdf.T(s, typ, ClassPerson))
+		add(rdf.T(s, typ, ClassPerson))
 		langName(s, "Person", i)
 		email := fmt.Sprintf("person%d@example.org", i)
 		if dirty() {
 			email = "not-an-email"
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropEmail), rdf.NewString(email)))
+		add(rdf.T(s, rdf.NewIRI(PropEmail), rdf.NewString(email)))
 		if counts["org"] > 0 && rng.Float64() < 0.7 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropWorksFor), pick("org")))
+			add(rdf.T(s, rdf.NewIRI(PropWorksFor), pick("org")))
 		}
 		for k := rng.Intn(3); k > 0; k-- {
-			g.Add(rdf.T(s, rdf.NewIRI(PropKnows), pick("person")))
+			add(rdf.T(s, rdf.NewIRI(PropKnows), pick("person")))
 		}
 	}
 
 	for i := 0; i < counts["review"]; i++ {
 		s := node("review", i)
-		g.Add(rdf.T(s, typ, ClassReview))
+		add(rdf.T(s, typ, ClassReview))
 		rating := int64(1 + rng.Intn(5))
 		if dirty() {
 			rating = 9 // out of range
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropRating), rdf.NewInteger(rating)))
+		add(rdf.T(s, rdf.NewIRI(PropRating), rdf.NewInteger(rating)))
 		if counts["person"] > 0 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropAuthor), pick("person")))
+			add(rdf.T(s, rdf.NewIRI(PropAuthor), pick("person")))
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropText),
+		add(rdf.T(s, rdf.NewIRI(PropText),
 			rdf.NewLangString(fmt.Sprintf("review text %d", i), []string{"de", "en", "it"}[rng.Intn(3)])))
 	}
 
 	for i := 0; i < counts["lodging"]; i++ {
 		s := node("lodging", i)
 		if rng.Float64() < 0.6 {
-			g.Add(rdf.T(s, typ, ClassHotel))
+			add(rdf.T(s, typ, ClassHotel))
 		} else {
-			g.Add(rdf.T(s, typ, ClassHostel))
+			add(rdf.T(s, typ, ClassHostel))
 		}
 		langName(s, "Lodging", i)
 		if counts["place"] > 0 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropLocation), pick("place")))
+			add(rdf.T(s, rdf.NewIRI(PropLocation), pick("place")))
 		}
 		in, out := int64(10+rng.Intn(5)), int64(15+rng.Intn(8))
 		if dirty() {
 			in, out = out+1, in // checkin after checkout: violates lessThan
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropCheckin), rdf.NewInteger(in)))
-		g.Add(rdf.T(s, rdf.NewIRI(PropCheckout), rdf.NewInteger(out)))
+		add(rdf.T(s, rdf.NewIRI(PropCheckin), rdf.NewInteger(in)))
+		add(rdf.T(s, rdf.NewIRI(PropCheckout), rdf.NewInteger(out)))
 		for k := rng.Intn(3); k > 0; k-- {
-			g.Add(rdf.T(s, rdf.NewIRI(PropAmenity),
+			add(rdf.T(s, rdf.NewIRI(PropAmenity),
 				rdf.NewString([]string{"wifi", "parking", "sauna", "pool"}[rng.Intn(4)])))
 		}
 		if counts["person"] > 0 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropOwner), pick("person")))
+			add(rdf.T(s, rdf.NewIRI(PropOwner), pick("person")))
 		}
 		for k := rng.Intn(4); k > 0; k-- {
-			g.Add(rdf.T(s, rdf.NewIRI(PropReview), pick("review")))
+			add(rdf.T(s, rdf.NewIRI(PropReview), pick("review")))
 		}
 	}
 
 	for i := 0; i < counts["event"]; i++ {
 		s := node("event", i)
-		g.Add(rdf.T(s, typ, ClassEvent))
+		add(rdf.T(s, typ, ClassEvent))
 		langName(s, "Event", i)
 		day := 1 + rng.Intn(27)
 		month := 1 + rng.Intn(12)
@@ -220,27 +251,26 @@ func Tyrol(cfg TyrolConfig) *rdfgraph.Graph {
 		if dirty() {
 			start, end = end, start // event ends before it starts
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropStartDate), rdf.NewTypedLiteral(start, rdf.XSDDateTime)))
-		g.Add(rdf.T(s, rdf.NewIRI(PropEndDate), rdf.NewTypedLiteral(end, rdf.XSDDateTime)))
+		add(rdf.T(s, rdf.NewIRI(PropStartDate), rdf.NewTypedLiteral(start, rdf.XSDDateTime)))
+		add(rdf.T(s, rdf.NewIRI(PropEndDate), rdf.NewTypedLiteral(end, rdf.XSDDateTime)))
 		if counts["org"] > 0 && rng.Float64() < 0.85 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropOrganizer), pick("org")))
+			add(rdf.T(s, rdf.NewIRI(PropOrganizer), pick("org")))
 		}
 		if counts["place"] > 0 {
-			g.Add(rdf.T(s, rdf.NewIRI(PropLocation), pick("place")))
+			add(rdf.T(s, rdf.NewIRI(PropLocation), pick("place")))
 		}
 		price := float64(rng.Intn(5000)) / 10
 		if dirty() {
 			price = -5
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropPrice), rdf.NewDecimal(price)))
-		g.Add(rdf.T(s, rdf.NewIRI(PropCapacity), rdf.NewInteger(int64(10+rng.Intn(5000)))))
+		add(rdf.T(s, rdf.NewIRI(PropPrice), rdf.NewDecimal(price)))
+		add(rdf.T(s, rdf.NewIRI(PropCapacity), rdf.NewInteger(int64(10+rng.Intn(5000)))))
 		url := fmt.Sprintf("https://tyrol.example/events/%d", i)
 		if dirty() {
 			url = "no scheme at all"
 		}
-		g.Add(rdf.T(s, rdf.NewIRI(PropURL), rdf.NewString(url)))
+		add(rdf.T(s, rdf.NewIRI(PropURL), rdf.NewString(url)))
 	}
-	return g
 }
 
 func max(a, b int) int {

@@ -100,7 +100,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, done := s.snapshot(w)
 	defer done()
-	g := snap.Graph()
+	g := snap.Reader()
 	id := g.LookupTerm(focus)
 	stopTarget()
 

@@ -6,6 +6,7 @@ import (
 
 	"shaclfrag/internal/obs"
 	"shaclfrag/internal/shapelint"
+	"shaclfrag/internal/store"
 )
 
 // Metric names exported on /metrics. docs/OPERATIONS.md carries the
@@ -26,6 +27,9 @@ const (
 	mEpoch           = "fragserver_epoch"
 	mUpdateTotal     = "fragserver_update_total"
 	mUpdateTriples   = "fragserver_update_triples_total"
+	mShardTriples    = "fragserver_store_shard_triples"
+	mStoreShards     = "fragserver_store_shards"
+	mCrossShard      = "fragserver_store_cross_shard_resolutions_total"
 )
 
 // routeNames are the label values for the route label; requests outside
@@ -50,7 +54,7 @@ func normalizeRoute(path string) string {
 // registry lookups.
 var stageNames = []string{
 	"parse", "target", "extract", "serialize", "validate", "nnf", "merge",
-	"apply",
+	"apply", "scatter", "gather",
 }
 
 // serverMetrics owns the server's registry plus the pre-created hot-path
@@ -136,13 +140,40 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc(mEpoch, "Epoch of the currently served snapshot; increments once per effective update.",
 		func() float64 { return float64(s.store.Current().Epoch()) })
 	reg.GaugeFunc("fragserver_graph_triples", "Triples in the currently served snapshot.",
-		func() float64 { return float64(s.store.Current().Graph().Len()) })
+		func() float64 { return float64(s.store.Current().Reader().Len()) })
 	reg.GaugeFunc("fragserver_dict_terms", "Interned terms in the current snapshot's dictionary.",
-		func() float64 { return float64(s.store.Current().Graph().Dict().Len()) })
+		func() float64 { return float64(s.store.Current().Reader().Dict().Len()) })
 	reg.GaugeFunc("fragserver_schema_shapes", "Shape definitions in the served schema.",
 		func() float64 { return float64(s.h.Len()) })
 	reg.GaugeFunc("fragserver_extraction_workers", "Parallel extraction worker count.",
 		func() float64 { return float64(s.workers) })
+
+	// Storage-backend series. The per-shard triple gauges use one shard
+	// label per shard — the shard count is fixed at startup, so label
+	// cardinality is bounded by configuration. The single backend exports
+	// shard="0" holding the whole graph, so dashboards need no special
+	// case; cross-shard resolutions exist only for the sharded backend.
+	reg.Gauge("fragserver_store_backend_info",
+		"Constant 1, labeled with the storage backend serving this process.",
+		obs.L("backend", s.store.Backend())).Set(1)
+	reg.GaugeFunc(mStoreShards, "Shards in the storage backend (1 for single).",
+		func() float64 { return float64(s.store.NumShards()) })
+	for i := 0; i < s.store.NumShards(); i++ {
+		shard := i
+		reg.GaugeFunc(mShardTriples,
+			"Triples held by each shard of the current snapshot, by shard index.",
+			func() float64 {
+				if ts := s.store.ShardTriples(); shard < len(ts) {
+					return float64(ts[shard])
+				}
+				return 0
+			}, obs.L("shard", strconv.Itoa(shard)))
+	}
+	if s.store.Backend() == store.BackendSharded {
+		reg.CounterFunc(mCrossShard,
+			"Reverse-index results resolved from a shard other than the queried node's own.",
+			func() float64 { return float64(s.store.CrossShardResolutions()) })
+	}
 
 	// Lint findings are fixed at load time, so the per-severity gauges are
 	// set once. All three severities are always exported: a zero is the

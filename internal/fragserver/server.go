@@ -75,15 +75,30 @@ import (
 	"shaclfrag/internal/schema"
 	"shaclfrag/internal/shape"
 	"shaclfrag/internal/shapelint"
+	"shaclfrag/internal/store"
 	"shaclfrag/internal/tpf"
 	"shaclfrag/internal/turtle"
 )
 
-// Config configures a Server. Graph and Schema are required; everything
-// else has serving-grade defaults.
+// Config configures a Server. Schema plus either Graph or Store is
+// required; everything else has serving-grade defaults.
 type Config struct {
 	Graph  *rdfgraph.Graph
 	Schema *schema.Schema
+
+	// Backend and Shards select the storage backend Graph is wrapped in
+	// (store.BackendSingle by default, store.BackendSharded partitions by
+	// subject ID and extraction switches to scatter-gather scheduling).
+	// Ignored when Store is set.
+	Backend string
+	Shards  int
+
+	// Store, when non-nil, serves this prebuilt store instead of wrapping
+	// Graph — the path for streamed loads too large to materialize as one
+	// Graph first (store.Loader). The store's dictionary must already hold
+	// every schema constant (run store.WarmDictionary against the loader's
+	// Reader before Finish); with Graph the server warms it itself.
+	Store store.Store
 
 	// Workers is the fan-out of parallel fragment extraction; <= 0 means
 	// runtime.GOMAXPROCS(0).
@@ -126,7 +141,7 @@ type Config struct {
 // tree is available via Handler for mounting, or use Serve for a managed
 // listener with graceful shutdown.
 type Server struct {
-	store   *rdfgraph.Store
+	store   store.Store
 	h       *schema.Schema
 	lint    []shapelint.Diagnostic
 	workers int
@@ -166,8 +181,8 @@ type Server struct {
 // stay resolvable across epochs because snapshot dictionaries extend the
 // warmed base dictionary.
 func New(cfg Config) (*Server, error) {
-	if cfg.Graph == nil {
-		return nil, errors.New("fragserver: Config.Graph is required")
+	if cfg.Graph == nil && cfg.Store == nil {
+		return nil, errors.New("fragserver: Config.Graph or Config.Store is required")
 	}
 	if cfg.Schema == nil {
 		return nil, errors.New("fragserver: Config.Schema is required")
@@ -213,10 +228,18 @@ func New(cfg Config) (*Server, error) {
 		maxUpdate = 8 << 20
 	}
 
-	warmDictionary(cfg.Graph, cfg.Schema)
+	st := cfg.Store
+	if st == nil {
+		store.WarmDictionary(cfg.Graph, cfg.Schema)
+		var err error
+		st, err = store.New(cfg.Graph, store.Config{Backend: cfg.Backend, Shards: cfg.Shards})
+		if err != nil {
+			return nil, fmt.Errorf("fragserver: %w", err)
+		}
+	}
 
 	s := &Server{
-		store:     rdfgraph.NewStore(cfg.Graph),
+		store:     st,
 		h:         cfg.Schema,
 		lint:      lint,
 		workers:   workers,
@@ -239,22 +262,6 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// warmDictionary interns every term validation or extraction could need to
-// resolve beyond the graph's own nodes — the hasValue constants of shapes
-// and targets (node targets name nodes that may not occur in the data).
-// Property IRIs need no warming: extraction looks them up read-only.
-func warmDictionary(g *rdfgraph.Graph, h *schema.Schema) {
-	for _, d := range h.Definitions() {
-		for _, sh := range []shape.Shape{d.Shape, d.Target} {
-			shape.Walk(sh, func(sub shape.Shape) {
-				if hv, ok := sub.(*shape.HasValue); ok {
-					g.TermID(hv.C)
-				}
-			})
-		}
-	}
-}
-
 // Handler returns the server's handler tree (routes plus timeout, limiter
 // and observability middleware), for mounting under an http.Server or a
 // test.
@@ -270,7 +277,7 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 // can apply deltas directly through it, but going through POST /update is
 // preferred: only the handler keeps the neighborhood cache warm (Carry)
 // and the update metrics truthful.
-func (s *Server) Store() *rdfgraph.Store { return s.store }
+func (s *Server) Store() store.Store { return s.store }
 
 // Lint returns the schema lint findings computed at load time, in the
 // linter's stable order. With Config.AllowLintErrors unset the slice can
@@ -365,7 +372,7 @@ func (p *epochPins) min() (uint64, bool) {
 // many updates land mid-request. The returned release must be called when
 // the handler is done; it unpins and sweeps cache entries of epochs no
 // in-flight request can reach anymore.
-func (s *Server) snapshot(w http.ResponseWriter) (*rdfgraph.Snapshot, func()) {
+func (s *Server) snapshot(w http.ResponseWriter) (store.Snapshot, func()) {
 	snap := s.store.Current()
 	s.pins.pin(snap.Epoch())
 	w.Header().Set("X-Epoch", strconv.FormatUint(snap.Epoch(), 10))
@@ -409,7 +416,7 @@ func (s *Server) evictStale() {
 // across requests, so repeated validation and extraction against one epoch
 // get cheaper over time; an extractor built for an older epoch is simply
 // dropped — its memoization is unsound against the new graph.
-func (s *Server) acquire(g *rdfgraph.Graph) *core.Extractor {
+func (s *Server) acquire(g rdfgraph.Reader) *core.Extractor {
 	for {
 		select {
 		case x := <-s.pool:
@@ -426,7 +433,7 @@ func (s *Server) acquire(g *rdfgraph.Graph) *core.Extractor {
 func (s *Server) release(x *core.Extractor) {
 	// Don't pool extractors for superseded epochs; letting them die keeps
 	// the pool converging onto the current graph after an update.
-	if x.Graph() != s.store.Current().Graph() {
+	if x.Graph() != s.store.Current().Reader() {
 		return
 	}
 	select {
@@ -460,7 +467,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	tr := obs.FromContext(r.Context())
 	snap, done := s.snapshot(w)
 	defer done()
-	x := s.acquire(snap.Graph())
+	x := s.acquire(snap.Reader())
 	defer s.release(x)
 	stop := tr.Start("validate")
 	report := s.h.ValidateWith(x.Evaluator())
@@ -495,7 +502,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 	stopTarget()
 	snap, done := s.snapshot(w)
 	defer done()
-	x := s.acquire(snap.Graph())
+	x := s.acquire(snap.Reader())
 	defer s.release(x)
 	stopExtract := tr.Start("extract")
 	triples, err := x.FragmentParallel(requests, core.ParallelOptions{
@@ -551,7 +558,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	defer done()
 	// LookupTerm never interns, so an unknown focus cannot mutate the
 	// frozen snapshot dictionary no matter how many goroutines probe it.
-	id := snap.Graph().LookupTerm(focus)
+	id := snap.Reader().LookupTerm(focus)
 	stopTarget()
 	if id == rdfgraph.NoID {
 		// A term no triple mentions has empty neighborhoods for every
@@ -560,7 +567,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		s.streamNTriples(w, r, nil)
 		return
 	}
-	x := s.acquire(snap.Graph())
+	x := s.acquire(snap.Reader())
 	defer s.release(x)
 	if rec := s.sampleAttribution(); rec != nil {
 		// Sampled requests re-derive with attribution; the recorder makes
@@ -578,7 +585,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		}
 		out.AddAll(x.NeighborhoodIDsCached(s.cache, snap.Epoch(), id, phi))
 	}
-	triples := out.Triples(snap.Graph().Dict())
+	triples := out.Triples(snap.Reader().Dict())
 	stopExtract()
 	s.streamNTriples(w, r, triples)
 }
@@ -598,7 +605,7 @@ func (s *Server) handleTPF(w http.ResponseWriter, r *http.Request) {
 	snap, done := s.snapshot(w)
 	defer done()
 	stopExtract := tr.Start("extract")
-	triples := pattern.Eval(snap.Graph())
+	triples := pattern.Eval(snap.Reader())
 	stopExtract()
 	s.streamNTriples(w, r, triples)
 }
@@ -623,10 +630,15 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	snap := s.store.Current()
-	g := snap.Graph()
+	g := snap.Reader()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "uptime: %s\nepoch: %d\ntriples: %d\nterms: %d\nshapes: %d\nworkers: %d\n",
 		time.Since(s.started).Round(time.Second), snap.Epoch(), g.Len(), g.Dict().Len(), s.h.Len(), s.workers)
+	fmt.Fprintf(w, "backend: %s\nshards: %d\n", s.store.Backend(), s.store.NumShards())
+	if s.store.Backend() == store.BackendSharded {
+		fmt.Fprintf(w, "shard triples: %v\ncross-shard resolutions: %d\n",
+			s.store.ShardTriples(), s.store.CrossShardResolutions())
+	}
 	if s.cache != nil {
 		st := s.cache.Stats()
 		fmt.Fprintf(w, "cache: %d entries, %d triples (~%d bytes), %d hits, %d misses, %d evictions (%d triples)\n",
@@ -719,4 +731,4 @@ func parseTPFPattern(q map[string][]string) (tpf.Pattern, error) {
 // graphNow returns the graph of the current snapshot — a convenience for
 // code that needs "the graph as of now" without pinning (stats, tests).
 // Request handlers must use snapshot instead so all their reads agree.
-func (s *Server) graphNow() *rdfgraph.Graph { return s.store.Current().Graph() }
+func (s *Server) graphNow() rdfgraph.Reader { return s.store.Current().Reader() }

@@ -101,7 +101,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.metrics.updDeleted.Add(uint64(res.Deleted))
 		s.log.Info("update applied",
 			"epoch", res.Snapshot.Epoch(), "added", res.Added, "deleted", res.Deleted,
-			"carried", carried, "triples", res.Snapshot.Graph().Len())
+			"carried", carried, "triples", res.Snapshot.Reader().Len())
 	} else {
 		s.metrics.updNoop.Inc()
 	}
@@ -119,6 +119,6 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		Added:   res.Added,
 		Deleted: res.Deleted,
 		Carried: carried,
-		Triples: res.Snapshot.Graph().Len(),
+		Triples: res.Snapshot.Reader().Len(),
 	})
 }

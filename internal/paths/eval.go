@@ -17,7 +17,7 @@ type productState struct {
 // cheap to construct; reuse one per (expression, graph) pair when evaluating
 // many source nodes, as fragment computation does.
 type Evaluator struct {
-	g   *rdfgraph.Graph
+	g   rdfgraph.Reader
 	nfa *NFA
 	// memo caches per-source result node sets for repeated evaluation.
 	memo map[rdfgraph.ID][]rdfgraph.ID
@@ -45,7 +45,7 @@ type Evaluator struct {
 const maxCachedStates = 1 << 20
 
 // NewEvaluator compiles e against g.
-func NewEvaluator(e Expr, g *rdfgraph.Graph) *Evaluator {
+func NewEvaluator(e Expr, g rdfgraph.Reader) *Evaluator {
 	ev := &Evaluator{g: g, memo: make(map[rdfgraph.ID][]rdfgraph.ID)}
 	switch x := e.(type) {
 	case Prop:
@@ -359,7 +359,7 @@ func (ev *Evaluator) Trace(a, b rdfgraph.ID) []rdf.Triple {
 // Eval evaluates ⟦E⟧G(a) for a single source term, returning result terms.
 // It interns a into g's dictionary if needed (the focus node may be any
 // node of N). Convenience wrapper for one-shot use.
-func Eval(e Expr, g *rdfgraph.Graph, a rdf.Term) []rdf.Term {
+func Eval(e Expr, g rdfgraph.Reader, a rdf.Term) []rdf.Term {
 	ev := NewEvaluator(e, g)
 	ids := ev.Eval(g.TermID(a))
 	out := make([]rdf.Term, len(ids))
@@ -370,7 +370,7 @@ func Eval(e Expr, g *rdfgraph.Graph, a rdf.Term) []rdf.Term {
 }
 
 // Trace computes graph(paths(E, G, a, b)) for terms; one-shot wrapper.
-func Trace(e Expr, g *rdfgraph.Graph, a, b rdf.Term) []rdf.Triple {
+func Trace(e Expr, g rdfgraph.Reader, a, b rdf.Term) []rdf.Triple {
 	ev := NewEvaluator(e, g)
 	return ev.Trace(g.TermID(a), g.TermID(b))
 }

@@ -28,7 +28,7 @@ type NFA struct {
 
 // Compile builds the NFA for e against g's dictionary. The graph is only
 // used to resolve predicate IRIs to IDs; the NFA does not retain it.
-func Compile(e Expr, g *rdfgraph.Graph) *NFA {
+func Compile(e Expr, g rdfgraph.Reader) *NFA {
 	b := &nfaBuilder{g: g}
 	start, accept := b.build(e)
 	n := &NFA{start: start, accept: accept, eps: b.eps, trans: b.trans}
@@ -48,7 +48,7 @@ func Compile(e Expr, g *rdfgraph.Graph) *NFA {
 }
 
 type nfaBuilder struct {
-	g     *rdfgraph.Graph
+	g     rdfgraph.Reader
 	eps   [][]int
 	trans [][]transition
 }

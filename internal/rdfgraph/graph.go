@@ -157,8 +157,18 @@ type Graph struct {
 
 // New returns an empty graph with its own term dictionary.
 func New() *Graph {
+	return NewWithDict(NewDict())
+}
+
+// NewWithDict returns an empty graph interning into d. Several graphs may
+// share one dictionary — that is how internal/store's sharded backend keeps
+// IDs comparable across its subject-partitioned shard graphs — but then
+// only one of them may intern at a time (the store's writer lock enforces
+// this; interning through a shared mutable dictionary from concurrent
+// goroutines is a data race).
+func NewWithDict(d *Dict) *Graph {
 	return &Graph{
-		dict:   NewDict(),
+		dict:   d,
 		spo:    make(map[ID]map[ID]map[ID]struct{}),
 		ops:    make(map[ID]map[ID]map[ID]struct{}),
 		byPred: make(map[ID][]Edge),
@@ -497,11 +507,20 @@ func (g *Graph) LookupTerm(t rdf.Term) ID { return g.dict.Lookup(t) }
 // enforces this with a mutex; concurrent CloneCOW mutations of the same
 // ancestry are a data race.
 func (g *Graph) CloneCOW() *Graph {
+	return g.CloneCOWWith(g.dict.Extend())
+}
+
+// CloneCOWWith is CloneCOW with a caller-provided overlay dictionary, which
+// must be an Extend of g's dictionary (or that dictionary itself, already
+// shared). The sharded store clones every shard against one shared overlay
+// per epoch, so a delta's new terms get exactly one ID no matter which
+// shard their triples land in.
+func (g *Graph) CloneCOWWith(d *Dict) *Graph {
 	if !g.frozen {
 		panic("rdfgraph: CloneCOW of unfrozen graph")
 	}
 	out := &Graph{
-		dict:   g.dict.Extend(),
+		dict:   d,
 		spo:    make(map[ID]map[ID]map[ID]struct{}, len(g.spo)),
 		ops:    make(map[ID]map[ID]map[ID]struct{}, len(g.ops)),
 		byPred: make(map[ID][]Edge, len(g.byPred)),

@@ -127,51 +127,45 @@ func (st *Store) Apply(d Delta) ApplyResult {
 	// Components over old edges ∪ added edges: old edges keep nodes that
 	// could reach a deleted triple connected to it, added edges connect
 	// previously separate components the new triples now bridge.
-	uf := newUnionFind(ng.Dict().Len())
-	old.g.EachTriple(func(s, _, o ID) { uf.union(s, o) })
+	uf := NewComponents(ng.Dict().Len())
+	old.g.EachTriple(func(s, _, o ID) { uf.Union(s, o) })
 	for _, e := range newEdges {
-		uf.union(e.s, e.o)
+		uf.Union(e.s, e.o)
 	}
-	uf.compress()
-	dirty := make(map[ID]struct{}, len(touched))
-	for _, id := range touched {
-		dirty[uf.root(id)] = struct{}{}
-	}
+	dirty := uf.DirtySet(touched)
 
 	ng.Freeze()
 	snap := &Snapshot{g: ng, epoch: old.epoch + 1}
 	st.cur.Store(snap)
 	return ApplyResult{
-		Snapshot: snap,
-		Added:    added,
-		Deleted:  deleted,
-		Changed:  true,
-		Unaffected: func(id ID) bool {
-			if int(id) < 0 || int(id) >= len(uf.parent) {
-				return false
-			}
-			_, hit := dirty[uf.root(id)]
-			return !hit
-		},
+		Snapshot:   snap,
+		Added:      added,
+		Deleted:    deleted,
+		Changed:    true,
+		Unaffected: uf.Unaffected(dirty),
 	}
 }
 
-// unionFind is a standard disjoint-set forest over dense IDs. After
-// compress, every parent pointer is a root, so root is a single read and
-// the structure is safe for concurrent lookups.
-type unionFind struct {
+// Components is a disjoint-set forest over dense IDs, used by the snapshot
+// stores to decide which weakly-connected components a delta touches. It
+// must be built over the *whole* graph a reader can observe: the sharded
+// backend unions edges from every shard before asking for roots, because a
+// component — and therefore a neighborhood B(v, G, φ) — freely spans shard
+// boundaries even though each triple is stored on exactly one shard.
+type Components struct {
 	parent []ID
 }
 
-func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]ID, n)}
+// NewComponents returns a forest of n singleton components.
+func NewComponents(n int) *Components {
+	uf := &Components{parent: make([]ID, n)}
 	for i := range uf.parent {
 		uf.parent[i] = ID(i)
 	}
 	return uf
 }
 
-func (uf *unionFind) find(x ID) ID {
+func (uf *Components) find(x ID) ID {
 	for uf.parent[x] != x {
 		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
 		x = uf.parent[x]
@@ -179,19 +173,48 @@ func (uf *unionFind) find(x ID) ID {
 	return x
 }
 
-func (uf *unionFind) union(a, b ID) {
+// Union merges the components of a and b.
+func (uf *Components) Union(a, b ID) {
 	ra, rb := uf.find(a), uf.find(b)
 	if ra != rb {
 		uf.parent[ra] = rb
 	}
 }
 
-// compress points every element directly at its root; afterwards root does
+// Compress points every element directly at its root; afterwards Root does
 // no writes and may be called from any number of goroutines.
-func (uf *unionFind) compress() {
+func (uf *Components) Compress() {
 	for i := range uf.parent {
 		uf.parent[ID(i)] = uf.find(ID(i))
 	}
 }
 
-func (uf *unionFind) root(x ID) ID { return uf.parent[x] }
+// Root returns the component representative of x. Call Compress first when
+// Root will be used concurrently.
+func (uf *Components) Root(x ID) ID { return uf.parent[x] }
+
+// DirtySet compresses the forest and returns the set of component roots
+// touched by the given IDs (typically every endpoint of an effective delta
+// triple).
+func (uf *Components) DirtySet(touched []ID) map[ID]struct{} {
+	uf.Compress()
+	dirty := make(map[ID]struct{}, len(touched))
+	for _, id := range touched {
+		dirty[uf.Root(id)] = struct{}{}
+	}
+	return dirty
+}
+
+// Unaffected returns the predicate ApplyResult carries: true iff the ID is
+// in range and its component root is not in dirty. The forest must already
+// be compressed (DirtySet does this); the returned func is then safe for
+// concurrent use.
+func (uf *Components) Unaffected(dirty map[ID]struct{}) func(ID) bool {
+	return func(id ID) bool {
+		if int(id) < 0 || int(id) >= len(uf.parent) {
+			return false
+		}
+		_, hit := dirty[uf.Root(id)]
+		return !hit
+	}
+}

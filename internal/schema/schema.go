@@ -243,7 +243,7 @@ func (r *Report) Violations() []Result {
 // Validate checks whether g conforms to the schema: for every definition
 // (s, φ, τ) and every node a with H, G, a ⊨ τ, it checks H, G, a ⊨ φ.
 // Candidate nodes are N(G) plus any node-target constants.
-func (s *Schema) Validate(g *rdfgraph.Graph) *Report {
+func (s *Schema) Validate(g rdfgraph.Reader) *Report {
 	ev := shape.NewEvaluator(g, s)
 	return s.ValidateWith(ev)
 }

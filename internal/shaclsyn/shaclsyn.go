@@ -102,7 +102,7 @@ func ParseSchema(src string) (*schema.Schema, error) {
 // shape (rdf:type sh:NodeShape/sh:PropertyShape), every shape with a target
 // declaration, and every shape referenced via sh:node or sh:property
 // (which translate to hasShape references and therefore need definitions).
-func Translate(g *rdfgraph.Graph) (*schema.Schema, error) {
+func Translate(g rdfgraph.Reader) (*schema.Schema, error) {
 	tr := &translator{g: g, done: map[rdf.Term]bool{}}
 
 	roots := map[rdf.Term]bool{}
@@ -175,7 +175,7 @@ func Translate(g *rdfgraph.Graph) (*schema.Schema, error) {
 }
 
 type translator struct {
-	g    *rdfgraph.Graph
+	g    rdfgraph.Reader
 	done map[rdf.Term]bool
 }
 

@@ -20,7 +20,7 @@ type Defs interface {
 // evaluators, which makes evaluating many focus nodes (validation, fragment
 // computation) close to linear. An Evaluator is not safe for concurrent use.
 type Evaluator struct {
-	G    *rdfgraph.Graph
+	G    rdfgraph.Reader
 	Defs Defs
 
 	pathEvals map[paths.Expr]*paths.Evaluator
@@ -38,7 +38,7 @@ type evalKey struct {
 
 // NewEvaluator returns an evaluator for g in the context of defs (which may
 // be nil when shapes contain no hasShape references).
-func NewEvaluator(g *rdfgraph.Graph, defs Defs) *Evaluator {
+func NewEvaluator(g rdfgraph.Reader, defs Defs) *Evaluator {
 	return &Evaluator{
 		G:         g,
 		Defs:      defs,

@@ -13,25 +13,25 @@ import (
 // Eval evaluates an algebra tree against a graph and returns its solutions.
 // The result order is deterministic for deterministic trees (it follows the
 // graph's canonical node order).
-func Eval(op Op, g *rdfgraph.Graph) []Binding {
+func Eval(op Op, g rdfgraph.Reader) []Binding {
 	e := newEvaluator(g)
 	return e.eval(op, []Binding{{}})
 }
 
 // Select evaluates op and projects the given variables, deduplicating rows
 // and returning them in a canonical order.
-func Select(op Op, g *rdfgraph.Graph, vars ...string) []Binding {
+func Select(op Op, g rdfgraph.Reader, vars ...string) []Binding {
 	rows := Eval(&Distinct{Inner: &Project{Inner: op, Vars: vars}}, g)
 	sort.Slice(rows, func(i, j int) bool { return bindingKey(rows[i]) < bindingKey(rows[j]) })
 	return rows
 }
 
 type evaluator struct {
-	g         *rdfgraph.Graph
+	g         rdfgraph.Reader
 	pathEvals map[paths.Expr]*paths.Evaluator
 }
 
-func newEvaluator(g *rdfgraph.Graph) *evaluator {
+func newEvaluator(g rdfgraph.Reader) *evaluator {
 	return &evaluator{g: g, pathEvals: make(map[paths.Expr]*paths.Evaluator)}
 }
 

@@ -1,0 +1,135 @@
+package store_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/store"
+	"shaclfrag/internal/turtle"
+)
+
+// parityCase is one (data graph, schema) pair whose whole-schema fragment
+// must come out byte-identical from every backend and scheduling path.
+type parityCase struct {
+	name string
+	g    *rdfgraph.Graph
+	h    *schema.Schema
+}
+
+// exampleParityCases loads every schema under examples/shapes against the
+// example tourism data, plus a synthetic graph under the benchmark shapes.
+func exampleParityCases(t *testing.T) []parityCase {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "data", "tourism.ttl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapeFiles, err := filepath.Glob(filepath.Join("..", "..", "examples", "shapes", "*.ttl"))
+	if err != nil || len(shapeFiles) == 0 {
+		t.Fatalf("no example schemas found: %v", err)
+	}
+	var cases []parityCase
+	for _, sf := range shapeFiles {
+		src, err := os.ReadFile(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := shaclsyn.ParseSchema(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", sf, err)
+		}
+		g, err := turtle.Parse(string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, parityCase{name: filepath.Base(sf), g: g, h: h})
+	}
+	bench := schema.MustNew(datagen.BenchmarkShapes()...)
+	cases = append(cases, parityCase{
+		name: "datagen",
+		g:    datagen.Tyrol(datagen.TyrolConfig{Individuals: 250, Seed: 11}),
+		h:    bench,
+	})
+	return cases
+}
+
+// TestShardedFragmentParity is the acceptance gate for the sharded
+// backend: Frag(G, H) computed through every shard count and scheduling
+// path is byte-identical to the serial single-graph extraction, for every
+// example schema shipped in the repo.
+func TestShardedFragmentParity(t *testing.T) {
+	for _, tc := range exampleParityCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			store.WarmDictionary(tc.g, tc.h)
+			want := turtle.FormatNTriples(core.FragmentSchema(tc.g, tc.h))
+			requests := core.SchemaRequests(tc.h)
+			for _, shards := range []int{1, 2, 4, 16} {
+				st, err := store.New(tc.g, store.Config{Backend: store.BackendSharded, Shards: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 4} {
+					x := core.NewExtractor(st.Current().Reader(), tc.h)
+					frag, err := x.FragmentParallel(requests, core.ParallelOptions{Workers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := turtle.FormatNTriples(frag); got != want {
+						t.Fatalf("shards=%d workers=%d: fragment differs from single serial extraction (%d vs %d bytes)",
+							shards, workers, len(got), len(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedParityAfterUpdate re-checks byte parity on a post-update
+// epoch: both backends apply the same delta and their fragments of the new
+// epoch must again agree byte for byte.
+func TestShardedParityAfterUpdate(t *testing.T) {
+	cfg := datagen.TyrolConfig{Individuals: 200, Seed: 5}
+	h := schema.MustNew(datagen.BenchmarkShapes()...)
+	delta := rdfgraph.Delta{
+		Add: datagen.Tyrol(datagen.TyrolConfig{Individuals: 40, Seed: 99}).Triples()[:100],
+		Del: datagen.Tyrol(cfg).Triples()[:50],
+	}
+
+	gs := datagen.Tyrol(cfg)
+	store.WarmDictionary(gs, h)
+	single, err := store.New(gs, store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh := datagen.Tyrol(cfg)
+	store.WarmDictionary(gh, h)
+	sharded, err := store.New(gh, store.Config{Backend: store.BackendSharded, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs := single.Apply(delta)
+	rh := sharded.Apply(delta)
+	if rs.Snapshot.Epoch() != rh.Snapshot.Epoch() {
+		t.Fatalf("epochs diverged: %d vs %d", rs.Snapshot.Epoch(), rh.Snapshot.Epoch())
+	}
+	requests := core.SchemaRequests(h)
+	frag := func(r rdfgraph.Reader) string {
+		x := core.NewExtractor(r, h)
+		ts, err := x.FragmentParallel(requests, core.ParallelOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return turtle.FormatNTriples(ts)
+	}
+	a, b := frag(rs.Snapshot.Reader()), frag(rh.Snapshot.Reader())
+	if a != b {
+		t.Fatalf("post-update fragments differ (%d vs %d bytes)", len(a), len(b))
+	}
+}

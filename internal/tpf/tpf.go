@@ -48,7 +48,7 @@ func (p Pattern) String() string {
 
 // Eval returns the TPF of g for the pattern: all images of the pattern in
 // g, i.e. the matching triples, in canonical order.
-func (p Pattern) Eval(g *rdfgraph.Graph) []rdf.Triple {
+func (p Pattern) Eval(g rdfgraph.Reader) []rdf.Triple {
 	var out []rdf.Triple
 	g.EachTriple(func(s, pr, o rdfgraph.ID) {
 		t := rdf.Triple{S: g.Term(s), P: g.Term(pr), O: g.Term(o)}

@@ -378,7 +378,7 @@ func FormatNTriples(triples []rdf.Triple) string {
 }
 
 // FormatGraph serializes a graph in canonical (sorted) N-Triples form.
-func FormatGraph(g *rdfgraph.Graph) string {
+func FormatGraph(g rdfgraph.Reader) string {
 	return FormatNTriples(g.Triples())
 }
 

@@ -51,7 +51,7 @@ type Result struct {
 // the instrumentation trick of Section 5.2: the provenance pass then shares
 // every conformance result with the validation pass through the evaluator
 // cache, so extraction pays only for tracing the neighborhoods themselves.
-func Validate(g *rdfgraph.Graph, h *schema.Schema, opts Options) *Result {
+func Validate(g rdfgraph.Reader, h *schema.Schema, opts Options) *Result {
 	norm := normalize(h)
 	ev := shape.NewEvaluator(g, norm)
 	res := &Result{Report: norm.ValidateWith(ev)}
@@ -120,7 +120,7 @@ type Overhead struct {
 // overhead of extraction over validation, averaged over reps runs. Each run
 // uses fresh evaluator caches, mirroring the paper's methodology (timers
 // around the validator only; parsing and loading excluded).
-func MeasureOverhead(g *rdfgraph.Graph, def schema.Definition, reps int) Overhead {
+func MeasureOverhead(g rdfgraph.Reader, def schema.Definition, reps int) Overhead {
 	h := schema.MustNew(def)
 	var validateTotal, extractTotal time.Duration
 	var fragSize, targeted int

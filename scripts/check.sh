@@ -25,8 +25,20 @@ $GO build ./...
 echo "== go test -race (serving path)"
 $GO test -race ./internal/core ./internal/rdfgraph ./internal/fragserver ./internal/shapelint
 
+echo "== go test -race (store tier, -short)"
+# -short downsizes the loader scale test; the full 1M load runs race-free
+# in the everything-else pass below.
+$GO test -race -short ./internal/store
+
 echo "== go test (everything else)"
 $GO test ./...
+
+echo "== sharded byte-parity and scale smoke"
+# Frag(G, H) through every backend, shard count and scheduling path must
+# stay byte-identical to serial single-graph extraction, and a streamed
+# 1M-triple load must come up serving.
+$GO test -count=1 -run 'TestShardedFragmentParity|TestShardedParityAfterUpdate|TestShardedServerParity|TestLoaderScale' \
+    ./internal/store ./internal/fragserver
 
 echo "== shaclfrag lint"
 bin=$(mktemp -d)/shaclfrag
