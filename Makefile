@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-json-smoke bench-sharded bench-sharded-10m check clean cover
+.PHONY: build test race vet bench bench-json bench-json-smoke bench-sharded bench-sharded-10m check clean cover docs-check
 
 build:
 	$(GO) build ./...
@@ -67,9 +67,16 @@ bench-sharded-10m:
 	SHACLFRAG_SCALE_10M=1 $(GO) run ./cmd/benchjson -bench Sharded10M -benchtime 1x -dir . \
 		-meta backend=sharded -meta triples=10000000 -meta shards=1,4,16
 
+# Documentation gate: intra-repo markdown links (files and #anchors)
+# must resolve and every `-flag` the docs mention must be defined by
+# some command under cmd/. Part of `make check`.
+docs-check:
+	$(GO) run ./cmd/doclint
+
 # Full CI gate: gofmt, vet, build, race tests on the serving-path
-# packages, the whole test suite, and `shaclfrag lint` over examples/
-# (clean schemas silent, examples/lint/ corpus flagged).
+# packages, the whole test suite, `shaclfrag lint` over examples/
+# (clean schemas silent, examples/lint/ corpus flagged), and the
+# documentation linter.
 check:
 	sh scripts/check.sh
 

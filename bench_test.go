@@ -22,6 +22,7 @@ import (
 	"shaclfrag/internal/core"
 	"shaclfrag/internal/datagen"
 	"shaclfrag/internal/paths"
+	"shaclfrag/internal/plan"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/schema"
@@ -98,7 +99,8 @@ func BenchmarkFig2SPARQLProvenance(b *testing.B) {
 }
 
 // BenchmarkFig3HubDistance3 runs the Figure 3 analytic query over growing
-// coauthorship slices, with both computation strategies.
+// coauthorship slices, with all three computation strategies: the AST
+// walker, the SPARQL translation, and the compiled instruction plan.
 func BenchmarkFig3HubDistance3(b *testing.B) {
 	corpus := datagen.NewCoauthor(datagen.CoauthorConfig{Papers: 1200, Seed: 42})
 	request := datagen.HubDistance3Shape()
@@ -116,7 +118,65 @@ func BenchmarkFig3HubDistance3(b *testing.B) {
 				sparql.Select(op, g, "s", "p", "o")
 			}
 		})
+		b.Run(fmt.Sprintf("plan/since=%d/triples=%d", since, g.Len()), func(b *testing.B) {
+			prog := plan.Compile(request, nil) // once per schema in production
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bd := prog.Bind(g)
+				out := rdfgraph.NewIDTripleSet()
+				for _, v := range g.NodeIDs() {
+					bd.CollectInto(v, out)
+				}
+				out.Triples(g.Dict())
+			}
+		})
 	}
+}
+
+// BenchmarkPlanExtraction isolates the compiled-plan extractor on the
+// whole benchmark schema: bind+extract is the cold path a fresh epoch
+// pays, steady-state re-extracts with dense memo and visited rows already
+// allocated — the approaches-zero-allocs regime the plan design targets.
+func BenchmarkPlanExtraction(b *testing.B) {
+	g := tyrolGraph(1000)
+	h := schema.MustNew(datagen.BenchmarkShapes()...)
+	store.WarmDictionary(g, h)
+	g.Freeze()
+	requests := core.SchemaRequests(h)
+	plans := plan.CompileAll(requests, h)
+	nodes := g.NodeIDs()
+
+	b.Run("bind+extract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := rdfgraph.NewIDTripleSet()
+			for _, p := range plans.Programs {
+				bd := p.Bind(g)
+				for _, v := range nodes {
+					bd.CollectInto(v, out)
+				}
+			}
+			out.Triples(g.Dict())
+		}
+	})
+	b.Run("steady-state", func(b *testing.B) {
+		bounds := make([]*plan.Bound, len(plans.Programs))
+		out := rdfgraph.NewIDTripleSet()
+		for i, p := range plans.Programs {
+			bounds[i] = p.Bind(g)
+			for _, v := range nodes {
+				bounds[i].CollectInto(v, out) // warm rows and accumulator
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, bd := range bounds {
+				bd.ResetVisited()
+				for _, v := range nodes {
+					bd.CollectInto(v, out)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkTabQueriesFragments evaluates every expressible benchmark query
@@ -160,8 +220,9 @@ func BenchmarkTabTPF(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationStrategies compares the two neighborhood computation
-// strategies of Section 5 head-to-head on one shape.
+// BenchmarkAblationStrategies compares the neighborhood computation
+// strategies head-to-head on one shape: the two of Section 5 plus the
+// compiled instruction plan the strategy planner routes to.
 func BenchmarkAblationStrategies(b *testing.B) {
 	g := tyrolGraph(1000)
 	defs := datagen.BenchmarkShapes()
@@ -176,6 +237,18 @@ func BenchmarkAblationStrategies(b *testing.B) {
 			tr := sparqltrans.New(nil)
 			op := tr.FragmentQuery([]shape.Shape{request}, "s", "p", "o")
 			sparql.Select(op, g, "s", "p", "o")
+		}
+	})
+	b.Run("compiled-plan", func(b *testing.B) {
+		prog := plan.Compile(request, nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bd := prog.Bind(g)
+			out := rdfgraph.NewIDTripleSet()
+			for _, v := range g.NodeIDs() {
+				bd.CollectInto(v, out)
+			}
+			out.Triples(g.Dict())
 		}
 	})
 }

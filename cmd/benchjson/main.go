@@ -17,8 +17,11 @@
 // name, iterations, ns/op, B/op and allocs/op.
 //
 // -smoke runs every benchmark once (-benchtime 1x), checks the output
-// parses, and writes nothing — the CI hook that keeps the benchmarks
-// compiling and the parser honest without paying for a full run.
+// parses, and prints the resulting Snapshot JSON to stdout instead of
+// writing a file — the CI hook that keeps the benchmarks compiling and the
+// parser honest without paying for a full run. Smoke and full runs emit
+// the same schema (including custom b.ReportMetric units under metrics),
+// so trajectory tooling can consume either.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -93,10 +97,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results matched -bench %q:\n%s", *bench, out)
 		os.Exit(1)
 	}
-	if *smoke {
-		fmt.Printf("benchjson: smoke OK, %d benchmark(s) parsed\n", len(results))
-		return
-	}
 
 	snap := Snapshot{
 		GitSHA:    gitSHA(),
@@ -108,6 +108,18 @@ func main() {
 	}
 	if len(meta) > 0 {
 		snap.Meta = meta
+	}
+	if *smoke {
+		// Same Snapshot schema as a full run — custom metrics included —
+		// printed to stdout rather than written into the trajectory.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: smoke OK, %d benchmark(s) parsed\n", len(results))
+		return
 	}
 	path, err := writeSnapshot(*dir, snap)
 	if err != nil {
@@ -167,8 +179,8 @@ func parseBenchOutput(out string) []Result {
 				r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
 			default:
 				f, err := strconv.ParseFloat(v, 64)
-				if err != nil {
-					continue
+				if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+					continue // non-finite values would break JSON encoding
 				}
 				if r.Metrics == nil {
 					r.Metrics = make(map[string]float64)

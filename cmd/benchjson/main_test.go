@@ -52,6 +52,30 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+// TestParseSkipsNonFiniteMetrics guards the shared smoke/full schema: a
+// NaN or Inf custom metric must be dropped rather than poison the JSON
+// encoding of the snapshot.
+func TestParseSkipsNonFiniteMetrics(t *testing.T) {
+	out := "BenchmarkX-8 \t 10\t 100 ns/op\t NaN junk/op\t +Inf worse/op\t 3.5 good/op\n"
+	results := parseBenchOutput(out)
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	r := results[0]
+	if _, ok := r.Metrics["junk/op"]; ok {
+		t.Errorf("NaN metric kept: %+v", r)
+	}
+	if _, ok := r.Metrics["worse/op"]; ok {
+		t.Errorf("Inf metric kept: %+v", r)
+	}
+	if r.Metrics["good/op"] != 3.5 {
+		t.Errorf("finite metric lost: %+v", r)
+	}
+	if _, err := json.Marshal(Snapshot{Results: results}); err != nil {
+		t.Errorf("snapshot with parsed metrics not encodable: %v", err)
+	}
+}
+
 func TestSnapshotIndexing(t *testing.T) {
 	dir := t.TempDir()
 	if n := nextIndex(dir); n != 1 {

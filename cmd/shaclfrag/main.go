@@ -10,6 +10,7 @@
 //	shaclfrag explain      -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>] [-json] [-diff <name>]
 //	shaclfrag whynot       -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
 //	shaclfrag translate    -shapes shapes.ttl [-shape <name>]
+//	shaclfrag plan         -shapes shapes.ttl [-shape <name>] [-data data.ttl]
 //	shaclfrag lint         shapes.ttl [more.ttl ...]
 //	shaclfrag tpf          -data data.ttl -pattern '?x <http://x/p> ?y'
 package main
@@ -23,6 +24,7 @@ import (
 
 	shaclfrag "shaclfrag"
 	"shaclfrag/internal/core"
+	"shaclfrag/internal/plan"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/shape"
 	"shaclfrag/internal/store"
@@ -48,6 +50,8 @@ func main() {
 		err = cmdNeighborhood(os.Args[2:], true)
 	case "translate":
 		err = cmdTranslate(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
 	case "lint":
 		err = cmdLint(os.Args[2:])
 	case "tpf":
@@ -75,6 +79,7 @@ commands:
   explain       extract B(v, G, φ) annotated with per-triple justifications
   whynot        extract the why-not provenance B(v, G, ¬φ)
   translate     render the SPARQL translation of the shapes
+  plan          disassemble compiled shape plans and show strategy decisions
   lint          statically analyze shapes graphs for contradictions and dead shapes
   tpf           evaluate a triple pattern fragment and its request shape`)
 }
@@ -134,7 +139,8 @@ func cmdFragment(args []string) error {
 	request := fs.String("request", "", `ad-hoc request shape in textual syntax, e.g. '>=1 <http://x/p>.top'`)
 	baseIRI := fs.String("base", "", "base IRI for bare names in -request")
 	outPath := fs.String("o", "", "output file (default stdout)")
-	viaSPARQL := fs.Bool("sparql", false, "compute via the SPARQL translation instead of the direct extractor")
+	strategy := fs.String("strategy", "auto", "extraction strategy: auto (cost-based planner), plan, direct, or sparql")
+	viaSPARQL := fs.Bool("sparql", false, "deprecated: same as -strategy sparql")
 	backend := fs.String("backend", "single", "storage backend for the direct extractor: single or sharded")
 	shards := fs.Int("shards", 0, "shard count for -backend sharded (0 = default)")
 	workers := fs.Int("workers", 0, "parallel extraction workers (0 = GOMAXPROCS)")
@@ -164,8 +170,13 @@ func cmdFragment(args []string) error {
 	default:
 		return fmt.Errorf("need -shapes or -request")
 	}
-	var frag []shaclfrag.Triple
 	if *viaSPARQL {
+		*strategy = "sparql"
+	}
+	var frag []shaclfrag.Triple
+	if *strategy == "sparql" {
+		// The paper's translation strategy, unconditionally: build Q_S and
+		// evaluate it on the in-memory engine.
 		frag = shaclfrag.FragmentViaSPARQL(g, h, requests...)
 	} else {
 		// The direct extractor speaks the store tier: the parsed graph
@@ -181,8 +192,27 @@ func cmdFragment(args []string) error {
 		if h != nil {
 			defs = h
 		}
+		var plans *plan.Set
+		switch *strategy {
+		case "direct":
+			// AST walker everywhere; plans stay nil.
+		case "plan":
+			plans = plan.CompileAll(requests, defs)
+		case "auto":
+			if h != nil {
+				// Cost-based choice per definition; SPARQL-routed
+				// definitions fall back to the AST walker in-process (the
+				// estimate only favors SPARQL for external endpoints).
+				sp := plan.PlanSchema(h, store.SampleStats(st.Current()), plan.Config{})
+				plans = sp.ProgramSet()
+			} else {
+				plans = plan.CompileAll(requests, nil)
+			}
+		default:
+			return fmt.Errorf("unknown -strategy %q (want auto, plan, direct or sparql)", *strategy)
+		}
 		x := core.NewExtractor(st.Current().Reader(), defs)
-		frag, err = x.FragmentParallel(requests, core.ParallelOptions{Workers: *workers})
+		frag, err = x.FragmentParallel(requests, core.ParallelOptions{Workers: *workers, Plans: plans})
 		if err != nil {
 			return err
 		}
@@ -396,6 +426,62 @@ func cmdTranslate(args []string) error {
 		requests = append(requests, shape.AndOf(d.Shape, d.Target))
 	}
 	fmt.Print(shaclfrag.FragmentSPARQL(h, requests...))
+	return nil
+}
+
+// cmdPlan disassembles the compiled instruction programs of a shapes graph
+// and, when a data graph is given, shows the cost-based planner's strategy
+// decision for each definition against that graph's cardinality stats.
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	shapesPath := fs.String("shapes", "", "shapes graph (Turtle)")
+	shapeName := fs.String("shape", "", "shape name (default: every definition)")
+	dataPath := fs.String("data", "", "data graph (Turtle); enables strategy decisions")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	h, err := loadSchema(*shapesPath)
+	if err != nil {
+		return err
+	}
+
+	var sp *plan.SchemaPlan
+	if *dataPath != "" {
+		g, err := loadGraph(*dataPath)
+		if err != nil {
+			return err
+		}
+		store.WarmDictionary(g, h)
+		st, err := store.New(g, store.Config{})
+		if err != nil {
+			return err
+		}
+		sp = plan.PlanSchema(h, store.SampleStats(st.Current()), plan.Config{})
+	}
+
+	printed := 0
+	for i, d := range h.Definitions() {
+		if *shapeName != "" && d.Name.Value != *shapeName && !strings.HasSuffix(d.Name.Value, *shapeName) {
+			continue
+		}
+		if printed > 0 {
+			fmt.Println()
+		}
+		printed++
+		fmt.Printf("== %s\n", d.Name)
+		if sp != nil {
+			dec := sp.Decisions[i]
+			fmt.Printf("strategy: %s (%s)\n", dec.Strategy, dec.Reason)
+			fmt.Printf("cost: plan=%.3g direct=%.3g sparql=%.3g memo=%dB\n",
+				dec.CostPlan, dec.CostDirect, dec.CostSPARQL, dec.MemoBytes)
+			fmt.Print(dec.Program)
+			continue
+		}
+		fmt.Print(plan.Compile(shape.AndOf(d.Shape, d.Target), h))
+	}
+	if printed == 0 {
+		return fmt.Errorf("no shape named %q in the shapes graph", *shapeName)
+	}
 	return nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"shaclfrag/internal/obs"
+	"shaclfrag/internal/plan"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/schema"
@@ -48,6 +49,40 @@ type ParallelOptions struct {
 	// recorder bypasses Cache (cached neighborhoods carry no
 	// justifications).
 	Recorder AttributionRecorder
+	// Plans, when non-nil, holds compiled instruction programs aligned
+	// with the requests slice (typically SchemaPlan.ProgramSet). A request
+	// with a non-nil program is extracted by the compiled plan instead of
+	// the AST walker — same triples (the parity suites gate byte
+	// identity), dense-memo speed. Nil entries and all requests fall back
+	// to the AST when Recorder is set: plans carry no attribution.
+	Plans *plan.Set
+}
+
+// boundPlans binds the program set against g for one worker, returning a
+// per-request slice of bound programs (nil where the AST path applies).
+// Each worker binds privately: dense memo rows are single-writer state.
+func boundPlans(opts ParallelOptions, nreq int, g rdfgraph.Reader) []*plan.Bound {
+	if opts.Plans == nil || opts.Recorder != nil {
+		return nil
+	}
+	bounds := make([]*plan.Bound, nreq)
+	for i, p := range opts.Plans.Programs {
+		if i >= nreq {
+			break
+		}
+		if p != nil {
+			bounds[i] = p.Bind(g)
+		}
+	}
+	return bounds
+}
+
+// boundAt returns the bound program for a request index, nil when absent.
+func boundAt(bounds []*plan.Bound, req int) *plan.Bound {
+	if bounds == nil {
+		return nil
+	}
+	return bounds[req]
 }
 
 // startStage begins timing one sub-stage against an optional tracer,
@@ -115,6 +150,7 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 			defer wg.Done()
 			wx := NewExtractor(g, x.ev.Defs)
 			wx.rec = opts.Recorder
+			bounds := boundPlans(opts, len(requests), g)
 			visited := make(map[VisitKey]struct{})
 			for {
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
@@ -131,7 +167,7 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 				if hi > len(nodes) {
 					hi = len(nodes)
 				}
-				wx.extractRange(requests[req], nnfs[req], nodes[lo:hi], out, visited, opts.Cache, opts.Epoch)
+				wx.extractRange(requests[req], nnfs[req], boundAt(bounds, req), nodes[lo:hi], out, visited, opts.Cache, opts.Epoch)
 			}
 		}()
 	}
@@ -207,6 +243,7 @@ func (x *Extractor) fragmentScatterGather(requests, nnfs []shape.Shape, parts []
 			defer wg.Done()
 			wx := NewExtractor(g, x.ev.Defs)
 			wx.rec = opts.Recorder
+			bounds := boundPlans(opts, len(requests), g)
 			visited := make(map[VisitKey]struct{})
 			for {
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
@@ -217,7 +254,7 @@ func (x *Extractor) fragmentScatterGather(requests, nnfs []shape.Shape, parts []
 				if u >= len(units) {
 					return
 				}
-				wx.extractRange(requests[units[u].req], nnfs[units[u].req], units[u].nodes, out, visited, opts.Cache, opts.Epoch)
+				wx.extractRange(requests[units[u].req], nnfs[units[u].req], boundAt(bounds, units[u].req), units[u].nodes, out, visited, opts.Cache, opts.Epoch)
 			}
 		}()
 	}
@@ -252,12 +289,13 @@ func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, n
 		defer func() { x.rec = prev }()
 	}
 	out := rdfgraph.NewIDTripleSet()
+	bounds := boundPlans(opts, len(requests), x.ev.G)
 	visited := make(map[VisitKey]struct{})
 	for i := range requests {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return nil, opts.Ctx.Err()
 		}
-		x.extractRange(requests[i], nnfs[i], nodes, out, visited, opts.Cache, opts.Epoch)
+		x.extractRange(requests[i], nnfs[i], boundAt(bounds, i), nodes, out, visited, opts.Cache, opts.Epoch)
 	}
 	return out.Triples(x.ev.G.Dict()), nil
 }
@@ -266,11 +304,20 @@ func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, n
 // request. Without a cache it shares out and visited across the whole range
 // (the fast path, identical to Fragment's inner loop). With a cache it
 // computes isolated per-node neighborhoods — the unit the cache stores —
-// while still sharing this extractor's conformance and path caches.
-func (x *Extractor) extractRange(request, nnf shape.Shape, nodes []rdfgraph.ID, out *rdfgraph.IDTripleSet, visited map[VisitKey]struct{}, cache *NeighborhoodCache, epoch uint64) {
+// while still sharing this extractor's conformance and path caches. A
+// non-nil bound program takes over both modes: it produces the same
+// per-node neighborhoods (parity-gated), so cache entries are
+// interchangeable between the two extractors.
+func (x *Extractor) extractRange(request, nnf shape.Shape, b *plan.Bound, nodes []rdfgraph.ID, out *rdfgraph.IDTripleSet, visited map[VisitKey]struct{}, cache *NeighborhoodCache, epoch uint64) {
 	// A cached neighborhood carries no justifications, so an attached
 	// recorder bypasses the cache: attribution always re-derives.
 	if cache == nil || x.rec != nil {
+		if b != nil {
+			for _, v := range nodes {
+				b.CollectInto(v, out)
+			}
+			return
+		}
 		for _, v := range nodes {
 			x.collect(v, nnf, out, visited)
 		}
@@ -282,7 +329,12 @@ func (x *Extractor) extractRange(request, nnf shape.Shape, nodes []rdfgraph.ID, 
 			continue
 		}
 		per := rdfgraph.NewIDTripleSet()
-		x.collect(v, nnf, per, make(map[VisitKey]struct{}))
+		if b != nil {
+			b.ResetVisited()
+			b.CollectInto(v, per)
+		} else {
+			x.collect(v, nnf, per, make(map[VisitKey]struct{}))
+		}
 		ts := per.IDTriples()
 		cache.Put(epoch, v, request, ts)
 		out.AddSet(per)

@@ -1,0 +1,216 @@
+// Package doclint statically checks the repository's markdown
+// documentation against the code it describes. Two defect classes rot
+// silently as a codebase grows and are cheap to gate in CI:
+//
+//   - intra-repo links: a renamed or deleted file (or section heading)
+//     leaves `[text](path#anchor)` references dangling;
+//   - documented flags: a `-flag` mentioned in running prose or a flag
+//     table survives the flag's removal from the command that owned it.
+//
+// External links (anything with a URL scheme) are out of scope — their
+// liveness is not this repository's invariant. Fenced code blocks are
+// skipped entirely for link checking (a markdown link inside a code
+// sample is not a link), while flag tokens are checked only inside
+// inline code spans, where the documentation's flag tables and prose
+// keep them by convention.
+package doclint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Finding is one documentation defect, positioned for editor jumps.
+type Finding struct {
+	File    string // path relative to the lint root
+	Line    int    // 1-based
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s", f.File, f.Line, f.Message)
+}
+
+// linkRe matches inline markdown links and images: [text](target) with
+// an optional "title". Reference-style links are not used in this repo.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// Links verifies every intra-repo markdown link in files (paths
+// relative to root): the target file must exist, and a #fragment into a
+// markdown file must name one of its headings (GitHub slug rules).
+func Links(root string, files []string) []Finding {
+	var findings []Finding
+	headings := map[string]map[string]bool{} // md path → slug set
+	for _, file := range files {
+		data, err := os.ReadFile(filepath.Join(root, file))
+		if err != nil {
+			findings = append(findings, Finding{File: file, Message: err.Error()})
+			continue
+		}
+		fenced := false
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				fenced = !fenced
+				continue
+			}
+			if fenced {
+				continue
+			}
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+					continue
+				}
+				path, frag, _ := strings.Cut(target, "#")
+				rel := file // anchor-only links point into the same file
+				if path != "" {
+					rel = filepath.Join(filepath.Dir(file), path)
+					if _, err := os.Stat(filepath.Join(root, rel)); err != nil {
+						findings = append(findings, Finding{File: file, Line: i + 1,
+							Message: fmt.Sprintf("broken link %q: no file %s", target, rel)})
+						continue
+					}
+				}
+				if frag == "" || !strings.HasSuffix(rel, ".md") {
+					continue
+				}
+				slugs, ok := headings[rel]
+				if !ok {
+					slugs = headingSlugs(filepath.Join(root, rel))
+					headings[rel] = slugs
+				}
+				if !slugs[frag] {
+					findings = append(findings, Finding{File: file, Line: i + 1,
+						Message: fmt.Sprintf("broken link %q: no heading #%s in %s", target, frag, rel)})
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// headingSlugs returns the GitHub-style anchor slugs of every markdown
+// heading in the file (missing or unreadable files yield an empty set —
+// the file-existence check has already reported those).
+func headingSlugs(path string) map[string]bool {
+	slugs := map[string]bool{}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return slugs
+	}
+	fenced := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") {
+			continue
+		}
+		slugs[slugify(strings.TrimSpace(text))] = true
+	}
+	return slugs
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase,
+// spaces to hyphens, punctuation dropped (hyphens and underscores
+// kept). Good enough for the ASCII-with-punctuation headings this
+// repository uses; duplicate-heading -1 suffixes are not modeled.
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r == ' ' || r == '\t':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			'a' <= r && r <= 'z', '0' <= r && r <= '9', r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// flagDefRe matches flag definitions in Go source: method calls like
+// flag.String("name", …) / fs.Bool("name", …) / flag.Func("name", …).
+var flagDefRe = regexp.MustCompile(`\.(Bool|Int|Int64|Uint|Uint64|Float64|String|Duration|Func|Var)\(\s*"([a-zA-Z0-9-]+)"`)
+
+// DefinedFlags scans every non-test Go file under root/cmdDir for flag
+// definitions and returns the set of defined flag names — the ground
+// truth the documentation is checked against.
+func DefinedFlags(root, cmdDir string) (map[string]bool, error) {
+	defined := map[string]bool{}
+	srcs, err := filepath.Glob(filepath.Join(root, cmdDir, "*", "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range srcs {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagDefRe.FindAllStringSubmatch(string(data), -1) {
+			defined[m[2]] = true
+		}
+	}
+	return defined, nil
+}
+
+// toolFlags are flags of the Go toolchain (and test binaries) that the
+// documentation legitimately mentions without this repo defining them.
+var toolFlags = map[string]bool{
+	"bench": true, "benchmem": true, "benchtime": true, "count": true,
+	"run": true, "race": true, "short": true, "fuzz": true,
+	"fuzztime": true, "cover": true, "coverprofile": true,
+	"cpuprofile": true, "memprofile": true, "update": true, "v": true,
+}
+
+// spanRe matches inline code spans; flagTokRe finds flag-like tokens
+// inside one (leading position or after whitespace, so `X-Epoch` and
+// negative numbers don't match).
+var (
+	spanRe    = regexp.MustCompile("`([^`]+)`")
+	flagTokRe = regexp.MustCompile(`(?:^|\s)-([a-z][a-z0-9]*(?:-[a-z0-9]+)*)`)
+)
+
+// Flags reports every `-flag` token documented in an inline code span
+// of files that no command defines (per defined, from DefinedFlags) and
+// that is not a known Go toolchain flag.
+func Flags(root string, files []string, defined map[string]bool) []Finding {
+	var findings []Finding
+	for _, file := range files {
+		data, err := os.ReadFile(filepath.Join(root, file))
+		if err != nil {
+			findings = append(findings, Finding{File: file, Message: err.Error()})
+			continue
+		}
+		fenced := false
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				fenced = !fenced
+				continue
+			}
+			if fenced {
+				continue
+			}
+			for _, span := range spanRe.FindAllStringSubmatch(line, -1) {
+				for _, tok := range flagTokRe.FindAllStringSubmatch(span[1], -1) {
+					if name := tok[1]; !defined[name] && !toolFlags[name] {
+						findings = append(findings, Finding{File: file, Line: i + 1,
+							Message: fmt.Sprintf("documented flag -%s is not defined by any command", name)})
+					}
+				}
+			}
+		}
+	}
+	return findings
+}

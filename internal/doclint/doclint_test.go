@@ -1,0 +1,156 @@
+package doclint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, root, rel, content string) {
+	t.Helper()
+	path := filepath.Join(root, rel)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func messages(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "docs/GUIDE.md", "# Guide\n\n## Deep Dive\n\ntext\n")
+	write(t, root, "README.md", strings.Join([]string{
+		"# Top",
+		"[ok](docs/GUIDE.md)",
+		"[ok anchor](docs/GUIDE.md#deep-dive)",
+		"[self](#top)",
+		"[external](https://example.com/missing.md) stays unchecked",
+		"[gone](docs/MISSING.md)",
+		"[bad anchor](docs/GUIDE.md#nope)",
+		"[bad self](#nothing)",
+		"```",
+		"[inside a fence](docs/ALSO_MISSING.md)",
+		"```",
+	}, "\n"))
+	got := Links(root, []string{"README.md", "docs/GUIDE.md"})
+	if len(got) != 3 {
+		t.Fatalf("got %d findings, want 3:\n%s", len(got), messages(got))
+	}
+	for i, want := range []struct {
+		line int
+		frag string
+	}{{6, "docs/MISSING.md"}, {7, "#nope"}, {8, "#nothing"}} {
+		if got[i].Line != want.line || !strings.Contains(got[i].Message, want.frag) {
+			t.Errorf("finding %d = %s, want line %d mentioning %s", i, got[i], want.line, want.frag)
+		}
+	}
+	// Relative resolution is from the linking file's directory.
+	write(t, root, "docs/OTHER.md", "[up](../README.md#top)\n[upbad](../GONE.md)\n")
+	got = Links(root, []string{"docs/OTHER.md"})
+	if len(got) != 1 || !strings.Contains(got[0].Message, "GONE.md") {
+		t.Fatalf("relative resolution: %s", messages(got))
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"Planner and plan-cache metrics": "planner-and-plan-cache-metrics",
+		"Reading the planner metrics":    "reading-the-planner-metrics",
+		"What `-flags` do: a guide!":     "what--flags-do-a-guide",
+		"Frag(G, H) über alles":          "fragg-h-über-alles",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDefinedFlags(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "cmd/tool/main.go", `package main
+import "flag"
+func main() {
+	flag.String("data", "", "data file")
+	fs := flag.NewFlagSet("sub", flag.ExitOnError)
+	fs.Bool("dry-run", false, "plan only")
+	flag.Func("meta", "kv", func(string) error { return nil })
+}
+`)
+	write(t, root, "cmd/tool/main_test.go", `package main
+import "flag"
+var _ = flag.String("testonly", "", "")
+`)
+	defined, err := DefinedFlags(root, "cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"data", "dry-run", "meta"} {
+		if !defined[want] {
+			t.Errorf("flag %q not collected: %v", want, defined)
+		}
+	}
+	if defined["testonly"] {
+		t.Errorf("test-file flag collected: %v", defined)
+	}
+}
+
+func TestFlags(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "DOC.md", strings.Join([]string{
+		"Use `-data file.ttl` and `tool -dry-run` together.",
+		"Run `go test -race -count=1` first.",
+		"The `-vanished` flag is long gone.",
+		"Headers like `X-Epoch` and spans like `a - b` are not flags.",
+		"```",
+		"curl -s http://x/   # shell flags in fences are not checked",
+		"```",
+	}, "\n"))
+	defined := map[string]bool{"data": true, "dry-run": true}
+	got := Flags(root, []string{"DOC.md"}, defined)
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(got), messages(got))
+	}
+	if got[0].Line != 3 || !strings.Contains(got[0].Message, "-vanished") {
+		t.Errorf("finding = %s, want line 3 about -vanished", got[0])
+	}
+}
+
+// TestRepoDocsClean lints this repository's actual documentation — the
+// same invocation `make docs-check` gates on — so a broken link or a
+// stale flag reference fails `go test` too, with positions.
+func TestRepoDocsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md"}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, rel)
+	}
+	defined, err := DefinedFlags(root, "cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defined) == 0 {
+		t.Fatal("no flags found under cmd/ — scan is broken")
+	}
+	findings := append(Links(root, files), Flags(root, files, defined)...)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"shaclfrag/internal/obs"
+	"shaclfrag/internal/plan"
 	"shaclfrag/internal/shapelint"
 	"shaclfrag/internal/store"
 )
@@ -30,6 +31,10 @@ const (
 	mShardTriples    = "fragserver_store_shard_triples"
 	mStoreShards     = "fragserver_store_shards"
 	mCrossShard      = "fragserver_store_cross_shard_resolutions_total"
+	mPlannerShapes   = "fragserver_planner_strategy_shapes"
+	mPlannerEpoch    = "fragserver_planner_stats_epoch"
+	mPlanInstrs      = "fragserver_plan_instructions"
+	mPlanMemoBytes   = "fragserver_plan_memo_bytes"
 )
 
 // routeNames are the label values for the route label; requests outside
@@ -174,6 +179,47 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Reverse-index results resolved from a shard other than the queried node's own.",
 			func() float64 { return float64(s.store.CrossShardResolutions()) })
 	}
+
+	// Strategy-planner series, sampled from the current plan at scrape
+	// time. The plan is re-derived per effective update, so the stats
+	// epoch lagging fragserver_epoch means an update raced the scrape.
+	for _, strat := range []plan.Strategy{plan.StrategyPlan, plan.StrategyDirect, plan.StrategySPARQL} {
+		strat := strat
+		reg.GaugeFunc(mPlannerShapes,
+			"Shape definitions routed to each extraction strategy by the cost-based planner.",
+			func() float64 {
+				if sp := s.splan.Load(); sp != nil {
+					return float64(sp.Counts()[strat])
+				}
+				return 0
+			}, obs.L("strategy", strat.String()))
+	}
+	reg.GaugeFunc(mPlannerEpoch,
+		"Store epoch whose cardinality stats produced the current strategy plan.",
+		func() float64 {
+			if sp := s.splan.Load(); sp != nil {
+				return float64(sp.Stats.Epoch)
+			}
+			return 0
+		})
+	reg.GaugeFunc(mPlanInstrs,
+		"Compiled plan instructions live across plan-routed definitions.",
+		func() float64 { return float64(s.planSet.Load().NumInstrs()) })
+	reg.GaugeFunc(mPlanMemoBytes,
+		"Dense memo bytes one worker binding every plan-routed program would pin.",
+		func() float64 {
+			sp := s.splan.Load()
+			if sp == nil {
+				return 0
+			}
+			var total int64
+			for _, d := range sp.Decisions {
+				if d.Strategy == plan.StrategyPlan {
+					total += d.MemoBytes
+				}
+			}
+			return float64(total)
+		})
 
 	// Lint findings are fixed at load time, so the per-severity gauges are
 	// set once. All three severities are always exported: a zero is the

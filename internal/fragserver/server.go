@@ -70,6 +70,7 @@ import (
 
 	"shaclfrag/internal/core"
 	"shaclfrag/internal/obs"
+	"shaclfrag/internal/plan"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/schema"
@@ -162,6 +163,18 @@ type Server struct {
 	// (in definition order): both the /fragment work list and the stable
 	// cache keys.
 	requests []shape.Shape
+
+	// splan is the cost-based strategy plan for the served schema, aligned
+	// with requests. It is recomputed against fresh cardinality stats after
+	// every effective update (replan) and swapped atomically; /fragment
+	// reads whichever plan is current. SPARQL-routed definitions fall back
+	// to the AST walker here — the server has no per-definition SPARQL
+	// execution path, and the estimate only picks SPARQL when an external
+	// endpoint would run the query.
+	splan atomic.Pointer[plan.SchemaPlan]
+	// planSet caches splan's ProgramSet (nil entries for non-plan
+	// strategies), swapped together with splan.
+	planSet atomic.Pointer[plan.Set]
 
 	handler  http.Handler
 	started  time.Time
@@ -257,9 +270,33 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.pins.refs = make(map[uint64]int)
 	s.staleFloor.Store(s.store.Current().Epoch())
+	s.replan(s.store.Current())
 	s.metrics = newServerMetrics(s)
 	s.handler = s.withObs(s.withLimit(s.withTimeout(s.routes())))
 	return s, nil
+}
+
+// replan recomputes the strategy plan against cardinality stats sampled
+// from snap and publishes it. Called at load and after every effective
+// update: stats shift with the data, and with them the per-definition
+// plan-vs-direct choice and the memo-budget veto.
+func (s *Server) replan(snap store.Snapshot) {
+	sp := plan.PlanSchema(s.h, store.SampleStats(snap), plan.Config{})
+	s.splan.Store(sp)
+	s.planSet.Store(sp.ProgramSet())
+}
+
+// SchemaPlan returns the current strategy plan (never nil after New).
+func (s *Server) SchemaPlan() *plan.SchemaPlan { return s.splan.Load() }
+
+// plansFor slices the current program set to one request window of
+// s.requests — the alignment core.ParallelOptions.Plans expects.
+func (s *Server) plansFor(lo, hi int) *plan.Set {
+	set := s.planSet.Load()
+	if set == nil {
+		return nil
+	}
+	return &plan.Set{Programs: set.Programs[lo:hi]}
 }
 
 // Handler returns the server's handler tree (routes plus timeout, limiter
@@ -490,6 +527,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 	tr := obs.FromContext(r.Context())
 	stopTarget := tr.Start("target")
 	requests := s.requests
+	lo, hi := 0, len(s.requests)
 	if name := r.URL.Query().Get("shape"); name != "" {
 		i, ok := s.defIndex(name)
 		if !ok {
@@ -498,6 +536,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		requests = s.requests[i : i+1]
+		lo, hi = i, i+1
 	}
 	stopTarget()
 	snap, done := s.snapshot(w)
@@ -512,6 +551,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 		Ctx:      r.Context(),
 		Tracer:   tr,
 		Recorder: s.sampleAttribution(),
+		Plans:    s.plansFor(lo, hi),
 	})
 	stopExtract()
 	if err != nil {

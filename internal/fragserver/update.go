@@ -96,6 +96,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	stopApply()
 
 	if res.Changed {
+		// Re-plan against the new epoch's cardinalities: the strategy
+		// choices and the memo-budget veto track the data they price.
+		s.replan(res.Snapshot)
 		s.metrics.updApplied.Inc()
 		s.metrics.updAdded.Add(uint64(res.Added))
 		s.metrics.updDeleted.Add(uint64(res.Deleted))

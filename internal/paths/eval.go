@@ -1,6 +1,7 @@
 package paths
 
 import (
+	"slices"
 	"sort"
 
 	"shaclfrag/internal/rdf"
@@ -78,7 +79,7 @@ func (ev *Evaluator) Eval(a rdfgraph.ID) []rdfgraph.ID {
 				ev.g.Subjects(ev.atomicID, a, func(s rdfgraph.ID) { out = append(out, s) })
 			}
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(out)
 		ev.memo[a] = out
 		return out
 	}
@@ -93,7 +94,7 @@ func (ev *Evaluator) Eval(a rdfgraph.ID) []rdfgraph.ID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	ev.memo[a] = out
 	return out
 }

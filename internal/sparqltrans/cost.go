@@ -1,0 +1,108 @@
+package sparqltrans
+
+import (
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/sparql"
+)
+
+// QueryStats sizes the neighborhood query a translator would emit for a
+// request shape. The strategy planner (internal/plan) uses these counts as
+// the structural term of its SPARQL cost estimate: every algebra operator
+// is a solution-set transformation the in-memory engine materializes, and
+// every path-trace operator re-runs a product-automaton search per binding.
+type QueryStats struct {
+	// Ops counts algebra operators (joins, unions, filters, ...).
+	Ops int
+	// Patterns counts triple patterns across all BGPs.
+	Patterns int
+	// PathTraces counts PathTrace operators (the Q_E subqueries of
+	// Lemma 5.1) — the dominant cost of generated fragment queries.
+	PathTraces int
+	// Preds are the distinct predicate IRIs mentioned by triple patterns;
+	// the planner prices them by their cardinality in the store snapshot.
+	Preds []string
+}
+
+// MeasureQuery builds Q_φ for the request and sizes it. defs may be nil.
+func MeasureQuery(phi shape.Shape, defs shape.Defs) QueryStats {
+	t := New(defs)
+	q := t.Neighborhood(shape.NNF(phi), "v", "s", "p", "o")
+	var st QueryStats
+	seen := make(map[string]bool)
+	countOp(q, &st, seen)
+	return st
+}
+
+func countOp(op sparql.Op, st *QueryStats, seen map[string]bool) {
+	if op == nil {
+		return
+	}
+	st.Ops++
+	switch x := op.(type) {
+	case *sparql.BGP:
+		st.Patterns += len(x.Patterns)
+		for _, p := range x.Patterns {
+			if p.Path != nil {
+				st.PathTraces++ // a path pattern runs the same NFA search
+			} else if !p.P.IsVar() && p.P.Term.IsIRI() {
+				if iri := p.P.Term.Value; !seen[iri] {
+					seen[iri] = true
+					st.Preds = append(st.Preds, iri)
+				}
+			}
+		}
+	case *sparql.Join:
+		countOp(x.L, st, seen)
+		countOp(x.R, st, seen)
+	case *sparql.LeftJoin:
+		countOp(x.L, st, seen)
+		countOp(x.R, st, seen)
+	case *sparql.Union:
+		countOp(x.L, st, seen)
+		countOp(x.R, st, seen)
+	case *sparql.Minus:
+		countOp(x.L, st, seen)
+		countOp(x.R, st, seen)
+	case *sparql.Filter:
+		countOp(x.Inner, st, seen)
+		countExpr(x.Cond, st, seen)
+	case *sparql.Extend:
+		countOp(x.Inner, st, seen)
+		countExpr(x.E, st, seen)
+	case *sparql.Project:
+		countOp(x.Inner, st, seen)
+	case *sparql.Distinct:
+		countOp(x.Inner, st, seen)
+	case *sparql.GroupCount:
+		countOp(x.Inner, st, seen)
+	case *sparql.PathTrace:
+		st.PathTraces++
+	case *sparql.Table, *sparql.AllNodes:
+		// leaves
+	}
+}
+
+func countExpr(e sparql.Expr, st *QueryStats, seen map[string]bool) {
+	switch x := e.(type) {
+	case *sparql.ExistsExpr:
+		countOp(x.Op, st, seen)
+	case *sparql.Cmp:
+		countExpr(x.L, st, seen)
+		countExpr(x.R, st, seen)
+	case *sparql.AndExpr:
+		for _, c := range x.Xs {
+			countExpr(c, st, seen)
+		}
+	case *sparql.OrExpr:
+		for _, c := range x.Xs {
+			countExpr(c, st, seen)
+		}
+	case *sparql.NotExpr:
+		countExpr(x.X, st, seen)
+	case *sparql.SameLangExpr:
+		countExpr(x.L, st, seen)
+		countExpr(x.R, st, seen)
+	case *sparql.InExpr:
+		countExpr(x.X, st, seen)
+	}
+}

@@ -79,6 +79,11 @@ explain -node http://tourism.example/grandhotel -shape HotelShape \
 explain -node http://tourism.example/seehof -json \
     | diff -u examples/explain/seehof.json.golden -
 
+echo "== docs lint"
+# Intra-repo markdown links must resolve and documented -flags must be
+# defined by some command (same engine as `make docs-check`).
+$GO run ./cmd/doclint
+
 echo "== benchjson smoke"
 $GO run ./cmd/benchjson -smoke -bench 'Fig|Tab'
 
