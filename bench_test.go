@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	shaclfrag "shaclfrag"
+	"shaclfrag/internal/contain"
 	"shaclfrag/internal/core"
 	"shaclfrag/internal/datagen"
 	"shaclfrag/internal/paths"
@@ -26,6 +27,7 @@ import (
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/rdfgraph"
 	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shaclsyn"
 	"shaclfrag/internal/shape"
 	"shaclfrag/internal/sparql"
 	"shaclfrag/internal/sparqltrans"
@@ -444,4 +446,66 @@ func BenchmarkSharded10M(b *testing.B) {
 			b.ReportMetric(float64(triples), "frag-triples")
 		})
 	}
+}
+
+// BenchmarkContainment measures the static containment analysis that
+// backs cache sharing, schema diffing and the subsumption lints: building
+// a checker and answering every pairwise Contains question over a schema,
+// plus the per-epoch equivalence-class computation fragserver runs
+// alongside the planner.
+func BenchmarkContainment(b *testing.B) {
+	schemas := []struct {
+		name string
+		defs []schema.Definition
+	}{
+		{"benchmark57", datagen.BenchmarkShapes()},
+	}
+	for _, path := range []string{"examples/shapes/tourism.ttl", "examples/shapes/workshop.ttl"} {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := shaclsyn.ParseSchema(string(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		schemas = append(schemas, struct {
+			name string
+			defs []schema.Definition
+		}{name: pathBase(path), defs: h.Definitions()})
+	}
+
+	for _, sc := range schemas {
+		h := schema.MustNew(sc.defs...)
+		defs := h.Definitions()
+		b.Run("pairs/"+sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := contain.New(h, h)
+				n := 0
+				for x := range defs {
+					for y := range defs {
+						if x != y && c.Contains(defs[x].Shape, defs[y].Shape) == contain.Contained {
+							n++
+						}
+					}
+				}
+				_ = n
+			}
+		})
+		requests := core.SchemaRequests(h)
+		b.Run("classes/"+sc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				contain.ComputeClasses(h, requests)
+			}
+		})
+	}
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
 }

@@ -1,8 +1,10 @@
 // Command doclint checks the repository's markdown documentation
 // against the code: intra-repo links (including #heading anchors) must
-// resolve, and every `-flag` documented in an inline code span must be
-// defined by some command under cmd/. It is the engine behind
-// `make docs-check` and exits 1 when any finding is reported.
+// resolve, every `-flag` documented in an inline code span must be
+// defined by some command under cmd/, and every `cmd sub` invocation in
+// a code span must name a subcommand that command's dispatch switch
+// accepts. It is the engine behind `make docs-check` and exits 1 when
+// any finding is reported.
 //
 // Usage:
 //
@@ -56,7 +58,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "doclint:", err)
 		os.Exit(1)
 	}
+	subs, err := doclint.DefinedSubcommands(*root, "cmd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(1)
+	}
 	findings := append(doclint.Links(*root, files), doclint.Flags(*root, files, defined)...)
+	findings = append(findings, doclint.Subcommands(*root, files, subs)...)
 	for _, f := range findings {
 		fmt.Println(f)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,26 @@ import (
 	"shaclfrag/internal/shapelint"
 )
 
+// lintFinding is one diagnostic in `lint -json` output. The schema is
+// stable: fields are append-only and severities/codes follow shapelint's
+// documented sets, so scripts can parse it without version checks.
+type lintFinding struct {
+	File     string `json:"file"`
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Shape    string `json:"shape"`
+	Message  string `json:"message"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// lintFileReport is the per-file envelope of `lint -json`.
+type lintFileReport struct {
+	File     string        `json:"file"`
+	Findings []lintFinding `json:"findings"`
+	Errors   int           `json:"errors"`
+	Warnings int           `json:"warnings"`
+}
+
 // cmdLint statically analyzes one or more SHACL shapes graphs and prints
 // the linter's findings. Exit status is 1 if any file has error-severity
 // findings, 0 otherwise (warnings alone do not fail the run).
@@ -16,6 +37,7 @@ func cmdLint(args []string) error {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	shapesPath := fs.String("shapes", "", "shapes graph (Turtle); positional paths also accepted")
 	quiet := fs.Bool("q", false, "print only per-file summary lines")
+	asJSON := fs.Bool("json", false, "emit findings as JSON (one report object per file)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -27,6 +49,7 @@ func cmdLint(args []string) error {
 		return fmt.Errorf("need -shapes or at least one shapes-graph path")
 	}
 	failed := false
+	var reports []lintFileReport
 	for _, path := range files {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -36,16 +59,39 @@ func cmdLint(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %v", path, err)
 		}
-		if !*quiet {
-			for _, d := range diags {
-				fmt.Printf("%s: %s\n", path, d)
-			}
-		}
 		nErr := len(shapelint.Errors(diags))
 		nWarn := shapelint.Count(diags, shapelint.Warning)
-		fmt.Printf("%s: %d error(s), %d warning(s)\n", path, nErr, nWarn)
+		if *asJSON {
+			rep := lintFileReport{File: path, Findings: []lintFinding{}, Errors: nErr, Warnings: nWarn}
+			for _, d := range diags {
+				rep.Findings = append(rep.Findings, lintFinding{
+					File:     path,
+					Code:     d.Code,
+					Severity: d.Severity.String(),
+					Shape:    d.Shape.String(),
+					Message:  d.Message,
+					Detail:   d.Detail,
+				})
+			}
+			reports = append(reports, rep)
+		} else {
+			if !*quiet {
+				for _, d := range diags {
+					fmt.Printf("%s: %s\n", path, d)
+				}
+			}
+			fmt.Printf("%s: %d error(s), %d warning(s)\n", path, nErr, nWarn)
+		}
 		if nErr > 0 {
 			failed = true
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
 		}
 	}
 	if failed {

@@ -11,7 +11,8 @@
 //	shaclfrag whynot       -data data.ttl -shapes shapes.ttl -node <iri> [-shape <name>]
 //	shaclfrag translate    -shapes shapes.ttl [-shape <name>]
 //	shaclfrag plan         -shapes shapes.ttl [-shape <name>] [-data data.ttl]
-//	shaclfrag lint         shapes.ttl [more.ttl ...]
+//	shaclfrag lint         shapes.ttl [more.ttl ...] [-json]
+//	shaclfrag schema-diff  old.ttl new.ttl [-json] [-graphs N] [-seed N]
 //	shaclfrag tpf          -data data.ttl -pattern '?x <http://x/p> ?y'
 package main
 
@@ -54,6 +55,8 @@ func main() {
 		err = cmdPlan(os.Args[2:])
 	case "lint":
 		err = cmdLint(os.Args[2:])
+	case "schema-diff":
+		err = cmdSchemaDiff(os.Args[2:])
 	case "tpf":
 		err = cmdTPF(os.Args[2:])
 	case "-h", "--help", "help":
@@ -81,6 +84,7 @@ commands:
   translate     render the SPARQL translation of the shapes
   plan          disassemble compiled shape plans and show strategy decisions
   lint          statically analyze shapes graphs for contradictions and dead shapes
+  schema-diff   classify per-definition changes between two shapes-graph versions
   tpf           evaluate a triple pattern fragment and its request shape`)
 }
 

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"shaclfrag/internal/contain"
+	"shaclfrag/internal/schema"
+)
+
+// diffChange is one definition's verdict in `schema-diff -json` output.
+// The schema is stable: kinds are the documented six-value set
+// (equivalent, weakened, strengthened, incomparable, added, removed) and
+// fields are append-only.
+type diffChange struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Breaking bool   `json:"breaking"`
+	OldToNew string `json:"oldToNew,omitempty"`
+	NewToOld string `json:"newToOld,omitempty"`
+	Witness  string `json:"witness,omitempty"`
+}
+
+// cmdSchemaDiff compares two shapes-graph versions definition by
+// definition using the containment checker, classifying each IRI-named
+// definition as equivalent, weakened (non-breaking), strengthened,
+// incomparable, added, or removed. Strengthened, incomparable and added
+// changes are breaking: data valid under the old schema has no validity
+// guarantee under the new one.
+//
+// Exit status: 0 when no change is breaking, 1 when at least one is,
+// 2 on usage errors (missing or unreadable inputs).
+func cmdSchemaDiff(args []string) error {
+	fs := flag.NewFlagSet("schema-diff", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	graphs := fs.Int("graphs", 0, "random graphs per unproven direction for refutation search (0 = default)")
+	seed := fs.Int64("seed", 0, "base seed for refutation search (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: shaclfrag schema-diff [-json] [-graphs N] [-seed N] old.ttl new.ttl")
+		os.Exit(2)
+	}
+	oldH, err := loadSchemaOrUsage(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newH, err := loadSchemaOrUsage(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	rep := contain.Diff(oldH, newH, contain.RefuteConfig{Graphs: *graphs, Seed: *seed})
+	breaking := rep.Breaking()
+
+	if *asJSON {
+		out := struct {
+			Old      string       `json:"old"`
+			New      string       `json:"new"`
+			Changes  []diffChange `json:"changes"`
+			Breaking int          `json:"breaking"`
+		}{Old: fs.Arg(0), New: fs.Arg(1), Changes: []diffChange{}, Breaking: len(breaking)}
+		for _, ch := range rep.Changes {
+			jc := diffChange{
+				Name:     ch.Name.String(),
+				Kind:     ch.Kind.String(),
+				Breaking: ch.Kind.Breaking(),
+			}
+			if ch.Kind != contain.ChangeAdded && ch.Kind != contain.ChangeRemoved {
+				jc.OldToNew = ch.OldToNew.String()
+				jc.NewToOld = ch.NewToOld.String()
+			}
+			if ch.Witness != nil {
+				jc.Witness = ch.Witness.Node.String()
+			}
+			out.Changes = append(out.Changes, jc)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, ch := range rep.Changes {
+			line := fmt.Sprintf("%-13s %s", ch.Kind, ch.Name)
+			if ch.Kind.Breaking() {
+				line += " (breaking)"
+			}
+			if ch.Witness != nil {
+				line += fmt.Sprintf(" [witness node %s]", ch.Witness.Node)
+			}
+			fmt.Println(line)
+		}
+		fmt.Printf("%d definition(s) compared, %d breaking change(s)\n",
+			len(rep.Changes), len(breaking))
+	}
+	if len(breaking) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// loadSchemaOrUsage loads a shapes graph, exiting with the usage status
+// when the input cannot be read or parsed — bad inputs are an invocation
+// problem, distinct from the breaking-change exit 1.
+func loadSchemaOrUsage(path string) (*schema.Schema, error) {
+	h, err := loadSchema(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shaclfrag: schema-diff:", err)
+		os.Exit(2)
+	}
+	return h, nil
+}

@@ -1,0 +1,138 @@
+package contain
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"shaclfrag/internal/paths"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+// CanonKey renders phi in a canonical form under the neighborhood
+// congruence: two shapes with equal keys conform on exactly the same
+// nodes AND have byte-identical neighborhoods B(v, G, ·) on every graph
+// and focus node, so the NeighborhoodCache may serve one's entries for
+// the other (see core.NeighborhoodCache.SetAliases).
+//
+// This is deliberately stricter than mutual containment. Equivalent
+// shapes can trace different triples — Or(φ) and Or(φ, φ∧eq(q)) are
+// mutually contained, but the second traces the eq edges of its extra
+// disjunct — so the congruence admits only rewrites proved to commute
+// with the Table 2 trace semantics AND with negation normal form (≤n
+// bodies are traced through their negation):
+//
+//   - NNF normalization;
+//   - hasShape inlining (B(v, hasShape(s)) is exactly B(v, nnf(def(s)));
+//     undefined names are ⊤, the evaluator's default);
+//   - ∧/∨ flattening, argument sorting and deduplication;
+//   - dropping literal ⊤ conjuncts and literal ⊥ disjuncts.
+//
+// Notably absent: shapelint's folding (≥0 E.φ → ⊤ changes traced bytes:
+// a conforming ≥0 still traces its conforming successors), ⊥-collapse of
+// conjunctions (¬(φ∧⊥) = ¬φ∨⊤ still traces ¬φ under a ≤n body), and
+// ⊤-collapse of disjunctions (a ⊤ disjunct flips conformance of the
+// whole disjunction without contributing triples).
+func CanonKey(h *schema.Schema, phi shape.Shape) string {
+	c := canonizer{h: h, visiting: make(map[rdf.Term]bool)}
+	return c.canon(shape.NNF(phi))
+}
+
+type canonizer struct {
+	h        *schema.Schema
+	visiting map[rdf.Term]bool
+}
+
+// canon renders an NNF shape. Callers must pass NNF input; recursion
+// preserves it.
+func (c *canonizer) canon(phi shape.Shape) string {
+	switch x := phi.(type) {
+	case *shape.True:
+		return "⊤"
+	case *shape.False:
+		return "⊥"
+	case *shape.HasShape:
+		return c.inline(x.Name, false)
+	case *shape.Not:
+		if ref, ok := x.X.(*shape.HasShape); ok {
+			return c.inline(ref.Name, true)
+		}
+		return "¬(" + c.canon(x.X) + ")"
+	case *shape.And:
+		return c.nary(x.Xs, " ∧ ", "⊤")
+	case *shape.Or:
+		return c.nary(x.Xs, " ∨ ", "⊥")
+	case *shape.MinCount:
+		return "≥" + strconv.Itoa(x.N) + " " + pathKey(x.Path) + ".(" + c.canon(x.X) + ")"
+	case *shape.MaxCount:
+		return "≤" + strconv.Itoa(x.N) + " " + pathKey(x.Path) + ".(" + c.canon(x.X) + ")"
+	case *shape.Forall:
+		return "∀" + pathKey(x.Path) + ".(" + c.canon(x.X) + ")"
+	default:
+		// Atoms: test, hasValue, eq, disj, closed, orders, uniqueLang.
+		// String renderings are deterministic and parameter-complete.
+		return phi.String()
+	}
+}
+
+// nary canonicalizes ∧/∨ arguments: flatten (constructors already did),
+// drop the unit (⊤ for ∧, ⊥ for ∨; the opposite constant must NOT be
+// dropped or collapsed), sort, dedupe.
+func (c *canonizer) nary(xs []shape.Shape, op, unit string) string {
+	ks := make([]string, 0, len(xs))
+	seen := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		k := c.canon(x)
+		if k == unit || seen[k] {
+			continue
+		}
+		seen[k] = true
+		ks = append(ks, k)
+	}
+	switch len(ks) {
+	case 0:
+		return unit
+	case 1:
+		return ks[0]
+	}
+	sort.Strings(ks)
+	return "(" + strings.Join(ks, op) + ")"
+}
+
+// inline resolves a (possibly negated) reference to its definition's
+// canonical form, mirroring the extractor: B(v, hasShape(s)) is
+// B(v, nnf(def)) and B(v, ¬hasShape(s)) is B(v, negNNF(def)); undefined
+// names resolve to ⊤. The cycle guard renders recursive references
+// opaquely — schema.New rejects cycles, so it only protects hand-built
+// schemas from divergence.
+func (c *canonizer) inline(name rdf.Term, negated bool) string {
+	if c.visiting[name] {
+		s := "hasShape(" + name.String() + ")"
+		if negated {
+			return "¬(" + s + ")"
+		}
+		return s
+	}
+	body := shape.Shape(shape.TrueShape())
+	if c.h != nil {
+		if b, ok := c.h.Def(name); ok {
+			body = b
+		}
+	}
+	if negated {
+		body = shape.Neg(body)
+	}
+	c.visiting[name] = true
+	k := c.canon(shape.NNF(body))
+	delete(c.visiting, name)
+	return k
+}
+
+func pathKey(e paths.Expr) string {
+	if e == nil {
+		return "id"
+	}
+	return e.String()
+}

@@ -1,0 +1,184 @@
+package contain
+
+import (
+	"sort"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+)
+
+// ChangeKind classifies what happened to one definition between two
+// schema versions, in terms of the constraint each version imposes on a
+// data graph: the implication shape ¬target ∨ shape, which a node
+// satisfies exactly when it is not targeted or conforms.
+type ChangeKind int
+
+const (
+	// ChangeEquivalent: both directions proved — the definitions accept
+	// exactly the same graphs.
+	ChangeEquivalent ChangeKind = iota
+	// ChangeWeakened: the old constraint implies the new one — every
+	// graph valid under the old definition stays valid. Non-breaking.
+	ChangeWeakened
+	// ChangeStrengthened: the new constraint implies the old one but not
+	// vice versa — existing valid data may now violate. Breaking.
+	ChangeStrengthened
+	// ChangeIncomparable: neither direction proved. Conservatively
+	// breaking: existing data has no validity guarantee under the new
+	// definition.
+	ChangeIncomparable
+	// ChangeAdded: the definition exists only in the new schema — a new
+	// constraint on existing data. Breaking.
+	ChangeAdded
+	// ChangeRemoved: the definition exists only in the old schema — a
+	// constraint disappeared. Non-breaking.
+	ChangeRemoved
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeEquivalent:
+		return "equivalent"
+	case ChangeWeakened:
+		return "weakened"
+	case ChangeStrengthened:
+		return "strengthened"
+	case ChangeIncomparable:
+		return "incomparable"
+	case ChangeAdded:
+		return "added"
+	case ChangeRemoved:
+		return "removed"
+	}
+	return "change(?)"
+}
+
+// Breaking reports whether existing data valid under the old schema may
+// violate the new one.
+func (k ChangeKind) Breaking() bool {
+	return k == ChangeStrengthened || k == ChangeIncomparable || k == ChangeAdded
+}
+
+// Change is the diff verdict for one definition name.
+type Change struct {
+	// Name is the definition's shapes-graph IRI.
+	Name rdf.Term
+	// Kind classifies the change.
+	Kind ChangeKind
+	// OldToNew / NewToOld are the containment verdicts for "old
+	// constraint implies new" and the reverse. Zero-valued (Unknown) for
+	// added/removed definitions.
+	OldToNew, NewToOld Verdict
+	// Witness carries the refutation node for a NotContained direction,
+	// when the model search found one (OldToNew preferred).
+	Witness *Witness
+}
+
+// Report is a full schema diff.
+type Report struct {
+	Changes []Change
+}
+
+// Breaking returns the breaking subset of the changes.
+func (r *Report) Breaking() []Change {
+	var out []Change
+	for _, ch := range r.Changes {
+		if ch.Kind.Breaking() {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// Diff compares two schema versions definition by definition. Only
+// IRI-named definitions are compared directly — blank-node definitions
+// (property shapes) have unstable labels across files, and their changes
+// surface through the named definitions that reference them, which the
+// checker resolves against the respective schema. Verdicts come from
+// Check: structural proof first, randomized refutation on Unknown.
+func Diff(old, new *schema.Schema, cfg RefuteConfig) *Report {
+	oldNames := namedDefs(old)
+	newNames := namedDefs(new)
+	var names []rdf.Term
+	seen := make(map[rdf.Term]bool)
+	for _, n := range append(append([]rdf.Term{}, oldNames...), newNames...) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool { return rdf.Compare(names[i], names[j]) < 0 })
+
+	c := New(old, new)
+	rep := &Report{}
+	for _, name := range names {
+		oldDef, inOld := lookup(old, name)
+		newDef, inNew := lookup(new, name)
+		switch {
+		case !inNew:
+			rep.Changes = append(rep.Changes, Change{Name: name, Kind: ChangeRemoved})
+			continue
+		case !inOld:
+			rep.Changes = append(rep.Changes, Change{Name: name, Kind: ChangeAdded})
+			continue
+		}
+		impOld := implication(oldDef)
+		impNew := implication(newDef)
+		fwd := c.Check(impOld, impNew, cfg)
+		bwd := c.flip.Check(impNew, impOld, cfg)
+		ch := Change{Name: name, OldToNew: fwd.Verdict, NewToOld: bwd.Verdict}
+		switch {
+		case fwd.Verdict == Contained && bwd.Verdict == Contained:
+			ch.Kind = ChangeEquivalent
+		case fwd.Verdict == Contained:
+			ch.Kind = ChangeWeakened
+		case bwd.Verdict == Contained:
+			ch.Kind = ChangeStrengthened
+		default:
+			ch.Kind = ChangeIncomparable
+		}
+		if fwd.Witness != nil {
+			ch.Witness = fwd.Witness
+		} else if bwd.Witness != nil {
+			ch.Witness = bwd.Witness
+		}
+		rep.Changes = append(rep.Changes, ch)
+	}
+	return rep
+}
+
+// implication builds ¬target ∨ shape: the per-node constraint the
+// definition imposes on a graph.
+func implication(d schema.Definition) shape.Shape {
+	target := d.Target
+	if target == nil {
+		target = shape.FalseShape()
+	}
+	return shape.OrOf(shape.Neg(target), d.Shape)
+}
+
+func namedDefs(h *schema.Schema) []rdf.Term {
+	if h == nil {
+		return nil
+	}
+	var out []rdf.Term
+	for _, d := range h.Definitions() {
+		if d.Name.IsIRI() {
+			out = append(out, d.Name)
+		}
+	}
+	return out
+}
+
+func lookup(h *schema.Schema, name rdf.Term) (schema.Definition, bool) {
+	if h == nil {
+		return schema.Definition{}, false
+	}
+	for _, d := range h.Definitions() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return schema.Definition{}, false
+}

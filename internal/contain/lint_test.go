@@ -1,0 +1,91 @@
+package contain_test
+
+import (
+	"reflect"
+	"testing"
+
+	"shaclfrag/internal/contain"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/shapelint"
+)
+
+func TestLintRedundantDefinition(t *testing.T) {
+	top := shape.TrueShape()
+	h := schema.MustNew(
+		schema.Definition{Name: iri("General"), Shape: shape.Min(1, p("p"), top), Target: shape.Value(iri("a"))},
+		schema.Definition{Name: iri("Specific"), Shape: shape.Min(2, p("p"), top), Target: shape.Value(iri("a"))},
+	)
+	diags := contain.Lint(h)
+	if len(diags) != 1 || diags[0].Code != shapelint.CodeRedundant {
+		t.Fatalf("diags = %v, want one SL010", diags)
+	}
+	if diags[0].Shape != iri("General") {
+		t.Errorf("SL010 should flag the weaker definition, got %s", diags[0].Shape)
+	}
+}
+
+func TestLintMutualSubsumptionKeepsEarlierDeclaration(t *testing.T) {
+	a := shape.Min(1, p("p"), shape.TrueShape())
+	b := shape.All(p("q"), shape.NodeTestShape(shape.IsLiteral{}))
+	h := schema.MustNew(
+		schema.Definition{Name: iri("First"), Shape: shape.AndOf(a, b), Target: shape.Value(iri("a"))},
+		schema.Definition{Name: iri("Second"), Shape: shape.AndOf(b, a), Target: shape.Value(iri("a"))},
+	)
+	diags := contain.Lint(h)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly one finding", diags)
+	}
+	if diags[0].Shape != iri("Second") {
+		t.Errorf("mutual subsumption should flag the later declaration, got %s", diags[0].Shape)
+	}
+}
+
+func TestLintImpliedConjunct(t *testing.T) {
+	top := shape.TrueShape()
+	h := schema.MustNew(schema.Definition{
+		Name:   iri("S"),
+		Shape:  shape.AndOf(shape.Min(2, p("p"), top), shape.Min(1, p("p"), top)),
+		Target: shape.Value(iri("a")),
+	})
+	diags := contain.Lint(h)
+	if len(diags) != 1 || diags[0].Code != shapelint.CodeImpliedConjunct {
+		t.Fatalf("diags = %v, want one SL011", diags)
+	}
+}
+
+// TestDiagnosticOrderIndependentOfDeclaration is the ordering regression
+// test: the merged diagnostic stream is sorted by (shape, code, position),
+// so reordering the schema's definitions must not reorder the findings.
+func TestDiagnosticOrderIndependentOfDeclaration(t *testing.T) {
+	top := shape.TrueShape()
+	// Zulu sorts after Alpha by IRI but is declared first; both carry an
+	// SL011 (implied conjunct), and Alpha additionally an SL002-style
+	// clean shape is avoided so only contain findings appear.
+	zulu := schema.Definition{
+		Name:   iri("Zulu"),
+		Shape:  shape.AndOf(shape.Min(3, p("p"), top), shape.Min(1, p("p"), top)),
+		Target: shape.Value(iri("z")),
+	}
+	alpha := schema.Definition{
+		Name:   iri("Alpha"),
+		Shape:  shape.AndOf(shape.Min(2, p("q"), top), shape.Min(1, p("q"), top)),
+		Target: shape.Value(iri("a")),
+	}
+	d1 := contain.LintMerged(schema.MustNew(zulu, alpha))
+	d2 := contain.LintMerged(schema.MustNew(alpha, zulu))
+	if len(d1) == 0 {
+		t.Fatal("expected findings from both definitions")
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("declaration order changed the diagnostic stream:\n%v\nvs\n%v", d1, d2)
+	}
+	for i := 1; i < len(d1); i++ {
+		if d1[i-1].Shape.String() > d1[i].Shape.String() {
+			t.Fatalf("diagnostics not sorted by shape: %v before %v", d1[i-1], d1[i])
+		}
+	}
+	if d1[0].Shape != iri("Alpha") {
+		t.Errorf("Alpha's findings should sort first, got %s", d1[0].Shape)
+	}
+}

@@ -1,0 +1,79 @@
+package contain
+
+import (
+	"shaclfrag/internal/paths"
+)
+
+// pathSub is sound path-language inclusion: it returns true only when
+// every walk matching a also matches b, so ⟦a⟧G(v) ⊆ ⟦b⟧G(v) on every
+// graph. A nil expression is the identity path id = {ε}. The relation is
+// syntax-directed and incomplete — false means "not proved", not "not
+// included".
+func pathSub(a, b paths.Expr) bool {
+	if a == nil && b == nil {
+		return true
+	}
+	if a == nil {
+		// id ⊑ b iff b accepts the empty walk.
+		return paths.CanBeEmpty(b)
+	}
+	if b == nil {
+		// Only ε-only languages fit inside id; no constructor here is
+		// guaranteed ε-only, so stay conservative.
+		return false
+	}
+	if paths.Equal(a, b) {
+		return true
+	}
+	// Decompose the right side first: a bigger language on the right is
+	// the common case (alternation arms, stars, optionals).
+	switch y := b.(type) {
+	case paths.Alt:
+		if pathSub(a, y.Left) || pathSub(a, y.Right) {
+			return true
+		}
+	case paths.Star:
+		// a ⊑ y* when a ⊑ y, or a is a repetition/option/sequence of
+		// languages each inside y*.
+		switch x := a.(type) {
+		case paths.Star:
+			if pathSub(x.X, b) {
+				return true
+			}
+		case paths.ZeroOrOne:
+			if pathSub(x.X, b) {
+				return true
+			}
+		case paths.Seq:
+			if pathSub(x.Left, b) && pathSub(x.Right, b) {
+				return true
+			}
+		}
+		if pathSub(a, y.X) {
+			return true
+		}
+	case paths.ZeroOrOne:
+		if pathSub(a, y.X) {
+			return true
+		}
+		if x, ok := a.(paths.ZeroOrOne); ok && pathSub(x.X, y.X) {
+			return true
+		}
+	}
+	// Then the left side.
+	switch x := a.(type) {
+	case paths.Alt:
+		return pathSub(x.Left, b) && pathSub(x.Right, b)
+	case paths.Seq:
+		if y, ok := b.(paths.Seq); ok {
+			return pathSub(x.Left, y.Left) && pathSub(x.Right, y.Right)
+		}
+	case paths.Inverse:
+		if y, ok := b.(paths.Inverse); ok {
+			return pathSub(x.X, y.X)
+		}
+	case paths.ZeroOrOne:
+		return paths.CanBeEmpty(b) && pathSub(x.X, b)
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+package contain_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shaclfrag/internal/contain"
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/shaclsyn"
+	"shaclfrag/internal/shape"
+	"shaclfrag/internal/shapetest"
+)
+
+// TestContainmentSoundness is the property gate wired into scripts/
+// check.sh: a Contained verdict must never be refuted by randomized
+// model search. For every schema in examples/shapes/ it takes all
+// pairwise containment questions over the schema's shapes, targets and
+// requests, and re-asks each Contained answer against ≥50 random graphs
+// drawn from the shapes' own vocabulary — a witness is a soundness bug.
+func TestContainmentSoundness(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "shapes", "*.ttl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example schemas found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := shaclsyn.ParseSchema(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var candidates []shape.Shape
+			for _, d := range h.Definitions() {
+				candidates = append(candidates, d.Shape)
+				if d.Target != nil {
+					candidates = append(candidates, d.Target, shape.AndOf(d.Shape, d.Target))
+				}
+			}
+			assertSoundOverPairs(t, h, candidates, 50)
+		})
+	}
+}
+
+// TestContainmentSoundnessRandomShapes fuzzes the checker with random
+// shape pairs over the shapetest universe, including all sub-pairs of
+// each generated pair's NNF — negation puts every rule, including the
+// contravariant ones, under test.
+func TestContainmentSoundnessRandomShapes(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 30
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		a := shape.NNF(shapetest.RandomShape(rng, 3))
+		b := shape.NNF(shapetest.RandomShape(rng, 3))
+		// The derived combinations guarantee provable verdicts (weakening,
+		// widening, reflexivity) so the refuter is genuinely exercised.
+		candidates := []shape.Shape{
+			a, b,
+			shape.AndOf(a, b),
+			shape.OrOf(a, b),
+			shape.Neg(a),
+		}
+		assertSoundOverPairs(t, nil, candidates, 25)
+	}
+}
+
+// TestContainmentSoundnessBenchmarkSchema cross-checks Contained
+// verdicts over the 57-definition benchmark schema against the Tyrol
+// generator's graphs: for every pair proved contained, every conforming
+// node of the left shape on a real synthetic graph must conform to the
+// right shape.
+func TestContainmentSoundnessBenchmarkSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-schema crosscheck is slow")
+	}
+	h := schema.MustNew(datagen.BenchmarkShapes()...)
+	c := contain.New(h, h)
+	defs := h.Definitions()
+	g := datagen.Tyrol(datagen.TyrolConfig{Individuals: 300, Seed: 7, DirtyRate: 0.3})
+
+	var contained [][2]int
+	for i := range defs {
+		for j := range defs {
+			if i != j && c.Contains(defs[i].Shape, defs[j].Shape) == contain.Contained {
+				contained = append(contained, [2]int{i, j})
+			}
+		}
+	}
+	if len(contained) == 0 {
+		t.Log("no nontrivial contained pairs in benchmark schema")
+	}
+	ev := shape.NewEvaluator(g, h)
+	for _, pair := range contained {
+		left, right := defs[pair[0]].Shape, defs[pair[1]].Shape
+		for _, id := range g.NodeIDs() {
+			if ev.Conforms(id, left) && !ev.Conforms(id, right) {
+				t.Fatalf("unsound: %s ⊑ %s refuted by node %s on Tyrol graph",
+					defs[pair[0]].Name, defs[pair[1]].Name, g.Term(id))
+			}
+		}
+	}
+}
+
+// assertSoundOverPairs asks every ordered pair of candidate shapes and
+// requires the refuter to stay silent on Contained verdicts.
+func assertSoundOverPairs(t *testing.T, h *schema.Schema, candidates []shape.Shape, graphs int) {
+	t.Helper()
+	c := contain.New(h, h)
+	checked := 0
+	for i, a := range candidates {
+		for j, b := range candidates {
+			if i == j || c.Contains(a, b) != contain.Contained {
+				continue
+			}
+			checked++
+			if w, refuted := c.Refute(a, b, contain.RefuteConfig{Graphs: graphs}); refuted {
+				t.Fatalf("unsound verdict: Contains(%s, %s) = contained, refuted at node %s (seed %d, %d triples)",
+					a, b, w.Node, w.Seed, len(w.Graph))
+			}
+		}
+	}
+	if checked == 0 {
+		// Every schema exercised here has at least the trivial request ⊑
+		// shape weakenings; zero checks means the harness went wrong.
+		for _, s := range candidates {
+			if v := c.Contains(s, shape.TrueShape()); v != contain.Contained {
+				t.Fatalf("Contains(%s, ⊤) = %s", s, v)
+			}
+		}
+	}
+}
+
+var _ = rdf.Compare // keep the import when test bodies shift

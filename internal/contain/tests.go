@@ -1,0 +1,93 @@
+package contain
+
+import (
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/shape"
+)
+
+// testImplies is sound node-test implication: true only when every term
+// passing a also passes b. It covers the implication lattice of the
+// concrete tests in internal/shape: datatype/language tests are literal
+// tests, value-range bounds tighten under the rdf total order (rdf.Less
+// is transitive, property-tested in internal/rdf), and length facets
+// order by their bound. AnyOf distributes on both sides.
+func testImplies(a, b shape.NodeTest) bool {
+	if a.String() == b.String() {
+		return true
+	}
+	if x, ok := a.(shape.AnyOf); ok {
+		for _, t := range x.Tests {
+			if !testImplies(t, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if y, ok := b.(shape.AnyOf); ok {
+		for _, t := range y.Tests {
+			if testImplies(a, t) {
+				return true
+			}
+		}
+		return false
+	}
+	if _, ok := b.(shape.IsLiteral); ok && literalOnly(a) {
+		return true
+	}
+	switch x := a.(type) {
+	case shape.MinLength:
+		if y, ok := b.(shape.MinLength); ok {
+			return x.N >= y.N
+		}
+	case shape.MaxLength:
+		if y, ok := b.(shape.MaxLength); ok {
+			return x.N <= y.N
+		}
+	case shape.MinExclusive:
+		switch y := b.(type) {
+		case shape.MinExclusive:
+			return rdf.LessEq(y.Bound, x.Bound)
+		case shape.MinInclusive:
+			return rdf.LessEq(y.Bound, x.Bound)
+		}
+	case shape.MinInclusive:
+		switch y := b.(type) {
+		case shape.MinInclusive:
+			return rdf.LessEq(y.Bound, x.Bound)
+		case shape.MinExclusive:
+			return rdf.Less(y.Bound, x.Bound)
+		}
+	case shape.MaxExclusive:
+		switch y := b.(type) {
+		case shape.MaxExclusive:
+			return rdf.LessEq(x.Bound, y.Bound)
+		case shape.MaxInclusive:
+			return rdf.LessEq(x.Bound, y.Bound)
+		}
+	case shape.MaxInclusive:
+		switch y := b.(type) {
+		case shape.MaxInclusive:
+			return rdf.LessEq(x.Bound, y.Bound)
+		case shape.MaxExclusive:
+			return rdf.Less(x.Bound, y.Bound)
+		}
+	}
+	return false
+}
+
+// literalOnly reports whether the test can only accept literals.
+func literalOnly(t shape.NodeTest) bool {
+	switch x := t.(type) {
+	case shape.IsLiteral, shape.Datatype, shape.HasLang,
+		shape.MinExclusive, shape.MaxExclusive, shape.MinInclusive, shape.MaxInclusive:
+		return true
+	case shape.AnyOf:
+		for _, sub := range x.Tests {
+			if !literalOnly(sub) {
+				return false
+			}
+		}
+		return len(x.Tests) > 0
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"testing"
+
+	"shaclfrag/internal/core"
+	"shaclfrag/internal/rdfgraph"
+	"shaclfrag/internal/shape"
+)
+
+// TestNeighborhoodCacheAliases pins the containment-sharing contract:
+// once an alias table maps a request shape to a representative, both Get
+// and Put are re-keyed to the representative, translated hits are
+// counted separately, and clearing the table restores identity keying.
+func TestNeighborhoodCacheAliases(t *testing.T) {
+	c := core.NewNeighborhoodCache(100)
+	// Two structurally identical but pointer-distinct request shapes
+	// (zero-size shapes like ⊤ can share an allocation, so use ∧-nodes
+	// built directly — the smart constructors collapse singleton ∧).
+	rep := shape.Shape(&shape.And{Xs: []shape.Shape{shape.TrueShape()}})
+	alias := shape.Shape(&shape.And{Xs: []shape.Shape{shape.TrueShape()}})
+	ts := []rdfgraph.IDTriple{{S: 1, P: 2, O: 3}}
+
+	// Without aliases the shapes are distinct keys.
+	c.Put(0, 7, rep, ts)
+	if _, ok := c.Get(0, 7, alias); ok {
+		t.Fatal("distinct shape pointers must miss without an alias table")
+	}
+
+	c.SetAliases(map[shape.Shape]shape.Shape{alias: rep})
+	if got, ok := c.Get(0, 7, alias); !ok || len(got) != 1 {
+		t.Fatal("aliased request must be served from the representative's entry")
+	}
+	if s := c.Stats(); s.AliasHits != 1 {
+		t.Fatalf("AliasHits = %d, want 1", s.AliasHits)
+	}
+	// A direct hit on the representative does not count as an alias hit.
+	if _, ok := c.Get(0, 7, rep); !ok {
+		t.Fatal("representative entry lost")
+	}
+	if s := c.Stats(); s.AliasHits != 1 {
+		t.Fatalf("AliasHits after direct hit = %d, want 1", s.AliasHits)
+	}
+
+	// Put through the alias lands on the representative key: one entry.
+	c.Put(0, 8, alias, ts)
+	if _, ok := c.Get(0, 8, rep); !ok {
+		t.Fatal("Put through an alias must fill the representative's entry")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (no duplicate entries under aliasing)", c.Len())
+	}
+
+	// Clearing the table restores identity keying.
+	c.SetAliases(nil)
+	if _, ok := c.Get(0, 7, alias); ok {
+		t.Fatal("cleared alias table must stop translating")
+	}
+}

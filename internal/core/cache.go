@@ -37,6 +37,7 @@ type NeighborhoodCache struct {
 	size      int
 	ll        *list.List // front = most recently used
 	items     map[neighborhoodKey]*list.Element
+	aliases   map[shape.Shape]shape.Shape // request shape -> class representative
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -44,6 +45,7 @@ type NeighborhoodCache struct {
 	stale     uint64 // entries removed by EvictBelow, cumulative
 	staleTrip uint64 // triples those entries held
 	carried   uint64 // entries cloned forward by Carry, cumulative
+	aliasHits uint64 // hits served through an alias translation
 }
 
 // idTripleBytes is the in-memory size of one cached triple, used to
@@ -81,17 +83,45 @@ func entryCost(ts []rdfgraph.IDTriple) int {
 	return len(ts)
 }
 
+// SetAliases installs a shape-aliasing table: every Get and Put whose
+// request shape appears as a key is silently re-keyed to the mapped
+// representative, so congruent requests share one cache entry. The
+// caller must guarantee the congruence is byte-exact — B(v, G, φ) and
+// B(v, G, rep(φ)) identical for every node and graph — which is what
+// contain.ComputeClasses certifies (see internal/contain's canonical
+// congruence). Passing nil clears the table. Existing entries are left
+// in place: entries keyed by a shape that just became an alias go cold
+// and age out via LRU.
+func (c *NeighborhoodCache) SetAliases(aliases map[shape.Shape]shape.Shape) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aliases = aliases
+}
+
+// resolveLocked maps a request shape through the alias table. The
+// second result reports whether a translation happened.
+func (c *NeighborhoodCache) resolveLocked(phi shape.Shape) (shape.Shape, bool) {
+	if rep, ok := c.aliases[phi]; ok {
+		return rep, true
+	}
+	return phi, false
+}
+
 // Get returns the cached neighborhood of (v, φ) at the given epoch and
 // whether it was present.
 func (c *NeighborhoodCache) Get(epoch uint64, v rdfgraph.ID, phi shape.Shape) ([]rdfgraph.IDTriple, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[neighborhoodKey{epoch: epoch, node: v, shape: phi}]
+	rep, aliased := c.resolveLocked(phi)
+	el, ok := c.items[neighborhoodKey{epoch: epoch, node: v, shape: rep}]
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
+	if aliased {
+		c.aliasHits++
+	}
 	c.ll.MoveToFront(el)
 	return el.Value.(*neighborhoodEntry).triples, true
 }
@@ -104,10 +134,10 @@ func (c *NeighborhoodCache) Put(epoch uint64, v rdfgraph.ID, phi shape.Shape, ts
 	if cost > c.budget {
 		return
 	}
-	key := neighborhoodKey{epoch: epoch, node: v, shape: phi}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.putLocked(key, ts, cost)
+	rep, _ := c.resolveLocked(phi)
+	c.putLocked(neighborhoodKey{epoch: epoch, node: v, shape: rep}, ts, cost)
 }
 
 func (c *NeighborhoodCache) putLocked(key neighborhoodKey, ts []rdfgraph.IDTriple, cost int) {
@@ -205,6 +235,7 @@ type CacheStats struct {
 	StaleEvictions uint64 // entries removed by EvictBelow (stale epochs)
 	StaleTriples   uint64 // triples those entries held
 	Carried        uint64 // entries cloned to a new epoch by Carry
+	AliasHits      uint64 // hits served through a containment alias (subset of Hits)
 	Entries        int
 	Triples        int
 	Bytes          int
@@ -222,6 +253,7 @@ func (c *NeighborhoodCache) Stats() CacheStats {
 		StaleEvictions: c.stale,
 		StaleTriples:   c.staleTrip,
 		Carried:        c.carried,
+		AliasHits:      c.aliasHits,
 		Entries:        c.ll.Len(),
 		Triples:        c.size,
 		Bytes:          c.size * idTripleBytes,

@@ -5,7 +5,9 @@
 //   - intra-repo links: a renamed or deleted file (or section heading)
 //     leaves `[text](path#anchor)` references dangling;
 //   - documented flags: a `-flag` mentioned in running prose or a flag
-//     table survives the flag's removal from the command that owned it.
+//     table survives the flag's removal from the command that owned it;
+//   - documented subcommands: a `cmd sub` invocation survives the
+//     subcommand's rename or removal from the command's dispatch switch.
 //
 // External links (anything with a URL scheme) are out of scope — their
 // liveness is not this repository's invariant. Fenced code blocks are
@@ -20,6 +22,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 )
 
@@ -207,6 +210,103 @@ func Flags(root string, files []string, defined map[string]bool) []Finding {
 					if name := tok[1]; !defined[name] && !toolFlags[name] {
 						findings = append(findings, Finding{File: file, Line: i + 1,
 							Message: fmt.Sprintf("documented flag -%s is not defined by any command", name)})
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// subcmdArmRe matches string dispatch arms in Go source — the whole
+// alternative list of a case like `case "-h", "--help", "help":` — and
+// subcmdNameRe then extracts the subcommand-shaped strings from it.
+// Quoted strings with characters outside [a-z0-9-] (flag aliases like
+// "-h", mode values with dots) are not subcommand names and don't
+// match the second pass.
+var (
+	subcmdArmRe  = regexp.MustCompile(`case\s+("[^"\n]*"(?:\s*,\s*"[^"\n]*")*)\s*:`)
+	subcmdNameRe = regexp.MustCompile(`"([a-z][a-z0-9-]*)"`)
+)
+
+// DefinedSubcommands scans every non-test Go file under root/cmdDir and
+// returns, per command (its directory's base name), the set of
+// subcommand names its dispatch switch accepts. Commands whose sources
+// contain no string case-arms are omitted: they take flags only, and a
+// word after their name in documentation is an operand, not a
+// subcommand. The text-level scan over-approximates (string switches in
+// helpers count too, like mode-flag values) — which can only suppress
+// findings, never invent them, the same trade DefinedFlags makes.
+func DefinedSubcommands(root, cmdDir string) (map[string]map[string]bool, error) {
+	defined := map[string]map[string]bool{}
+	srcs, err := filepath.Glob(filepath.Join(root, cmdDir, "*", "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, src := range srcs {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return nil, err
+		}
+		cmd := filepath.Base(filepath.Dir(src))
+		for _, arm := range subcmdArmRe.FindAllStringSubmatch(string(data), -1) {
+			for _, m := range subcmdNameRe.FindAllStringSubmatch(arm[1], -1) {
+				if defined[cmd] == nil {
+					defined[cmd] = map[string]bool{}
+				}
+				defined[cmd][m[1]] = true
+			}
+		}
+	}
+	return defined, nil
+}
+
+// Subcommands reports every `cmd sub` invocation documented in an
+// inline code span where cmd dispatches on subcommands (it has an entry
+// in defined, from DefinedSubcommands) but does not define sub. Like
+// the flag check, only inline code spans are scanned — prose such as
+// "shaclfrag and its server" never looks like an invocation there.
+func Subcommands(root string, files []string, defined map[string]map[string]bool) []Finding {
+	type matcher struct {
+		cmd  string
+		re   *regexp.Regexp
+		subs map[string]bool
+	}
+	var matchers []matcher
+	for cmd, subs := range defined {
+		// The command name may appear bare or as a path (./cmd/shaclfrag,
+		// ./bin/shaclfrag); the word after it is the claimed subcommand.
+		re := regexp.MustCompile(`(?:^|[\s/])` + regexp.QuoteMeta(cmd) + `\s+([a-z][a-z0-9-]*)`)
+		matchers = append(matchers, matcher{cmd: cmd, re: re, subs: subs})
+	}
+	sort.Slice(matchers, func(i, j int) bool { return matchers[i].cmd < matchers[j].cmd })
+
+	var findings []Finding
+	for _, file := range files {
+		data, err := os.ReadFile(filepath.Join(root, file))
+		if err != nil {
+			findings = append(findings, Finding{File: file, Message: err.Error()})
+			continue
+		}
+		fenced := false
+		for i, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				fenced = !fenced
+				continue
+			}
+			if fenced {
+				continue
+			}
+			for _, span := range spanRe.FindAllStringSubmatch(line, -1) {
+				for _, m := range matchers {
+					for _, tok := range m.re.FindAllStringSubmatch(span[1], -1) {
+						if sub := tok[1]; !m.subs[sub] {
+							findings = append(findings, Finding{File: file, Line: i + 1,
+								Message: fmt.Sprintf("documented subcommand %q is not defined by %s", sub, m.cmd)})
+						}
 					}
 				}
 			}

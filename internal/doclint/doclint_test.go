@@ -125,6 +125,64 @@ func TestFlags(t *testing.T) {
 	}
 }
 
+func TestDefinedSubcommands(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "cmd/tool/main.go", `package main
+import "os"
+func main() {
+	switch os.Args[1] {
+	case "fragment":
+	case "schema-diff":
+	case "-h", "--help", "help":
+	}
+}
+`)
+	write(t, root, "cmd/tool/main_test.go", `package main
+// case "ghost": in a test file must not count
+`)
+	write(t, root, "cmd/flat/main.go", `package main
+func main() {} // no dispatch switch: flat commands are exempt
+`)
+	defined, err := DefinedSubcommands(root, "cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fragment", "schema-diff", "help"} {
+		if !defined["tool"][want] {
+			t.Errorf("subcommand %q not collected: %v", want, defined)
+		}
+	}
+	if defined["tool"]["ghost"] {
+		t.Errorf("test-file case arm collected: %v", defined)
+	}
+	if _, ok := defined["flat"]; ok {
+		t.Errorf("command without dispatch switch should be omitted: %v", defined)
+	}
+}
+
+func TestSubcommands(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "DOC.md", strings.Join([]string{
+		"Run `tool fragment -data x.ttl` or `./cmd/tool schema-diff a b`.",
+		"The `tool shcema-diff` typo must be flagged.",
+		"Prose like tool fragment outside a span is ignored.",
+		"A flat command's operands are fine: `flat anything.ttl`.",
+		"```",
+		"tool vanished   # fences are not checked",
+		"```",
+	}, "\n"))
+	defined := map[string]map[string]bool{
+		"tool": {"fragment": true, "schema-diff": true},
+	}
+	got := Subcommands(root, []string{"DOC.md"}, defined)
+	if len(got) != 1 {
+		t.Fatalf("got %d findings, want 1:\n%s", len(got), messages(got))
+	}
+	if got[0].Line != 2 || !strings.Contains(got[0].Message, "shcema-diff") {
+		t.Errorf("finding = %s, want line 2 about shcema-diff", got[0])
+	}
+}
+
 // TestRepoDocsClean lints this repository's actual documentation — the
 // same invocation `make docs-check` gates on — so a broken link or a
 // stale flag reference fails `go test` too, with positions.
@@ -149,7 +207,15 @@ func TestRepoDocsClean(t *testing.T) {
 	if len(defined) == 0 {
 		t.Fatal("no flags found under cmd/ — scan is broken")
 	}
+	subs, err := DefinedSubcommands(root, "cmd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs["shaclfrag"]) == 0 {
+		t.Fatal("no shaclfrag subcommands found under cmd/ — scan is broken")
+	}
 	findings := append(Links(root, files), Flags(root, files, defined)...)
+	findings = append(findings, Subcommands(root, files, subs)...)
 	for _, f := range findings {
 		t.Errorf("%s", f)
 	}

@@ -35,6 +35,10 @@ const (
 	mPlannerEpoch    = "fragserver_planner_stats_epoch"
 	mPlanInstrs      = "fragserver_plan_instructions"
 	mPlanMemoBytes   = "fragserver_plan_memo_bytes"
+	mContainHits     = "fragserver_containment_hits_total"
+	mContainUnknown  = "fragserver_containment_unknown_total"
+	mContainClasses  = "fragserver_containment_classes"
+	mContainShared   = "fragserver_containment_shared_shapes"
 )
 
 // routeNames are the label values for the route label; requests outside
@@ -257,7 +261,33 @@ func newServerMetrics(s *Server) *serverMetrics {
 		reg.CounterFunc("fragserver_cache_carried_total",
 			"Cache entries carried to a new epoch because the update did not affect their node.",
 			func() float64 { return float64(s.cache.Stats().Carried) })
+		reg.CounterFunc(mContainHits,
+			"Cache hits served through a containment alias: requests answered from a congruent definition's entries.",
+			func() float64 { return float64(s.cache.Stats().AliasHits) })
 	}
+
+	// Containment equivalence-class series, sampled from the table the
+	// last replan published. Shared > 0 means the schema has congruent
+	// definitions whose cache entries are pooled.
+	reg.GaugeFunc(mContainClasses,
+		"Containment equivalence classes over the request and definition shapes.",
+		func() float64 {
+			if cl := s.classes.Load(); cl != nil {
+				return float64(cl.NumClasses)
+			}
+			return 0
+		})
+	reg.GaugeFunc(mContainShared,
+		"Shapes aliased to another shape's cache entries by the containment analysis.",
+		func() float64 {
+			if cl := s.classes.Load(); cl != nil {
+				return float64(cl.Shared)
+			}
+			return 0
+		})
+	reg.CounterFunc(mContainUnknown,
+		"Representative pairs the containment checker could not prove equivalent across class rebuilds — possibly-shareable cache partitions left separate.",
+		func() float64 { return float64(s.containUnknown.Load()) })
 	return m
 }
 

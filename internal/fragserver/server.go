@@ -68,6 +68,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shaclfrag/internal/contain"
 	"shaclfrag/internal/core"
 	"shaclfrag/internal/obs"
 	"shaclfrag/internal/plan"
@@ -176,6 +177,16 @@ type Server struct {
 	// strategies), swapped together with splan.
 	planSet atomic.Pointer[plan.Set]
 
+	// classShapes is the pointer-stable shape list containment classes are
+	// computed over: the /fragment request shapes followed by the raw
+	// definition shapes /node keys the cache by. classes is the current
+	// equivalence-class table (rebuilt in replan, alongside the planner);
+	// containUnknown accumulates the possibly-equivalent-but-unproven rep
+	// pairs across rebuilds for the containment_unknown_total counter.
+	classShapes    []shape.Shape
+	classes        atomic.Pointer[contain.Classes]
+	containUnknown atomic.Uint64
+
 	handler  http.Handler
 	started  time.Time
 	metrics  *serverMetrics
@@ -221,7 +232,10 @@ func New(cfg Config) (*Server, error) {
 		logger = slog.Default()
 	}
 
-	lint := shapelint.Run(cfg.Schema)
+	// The full diagnostic stream: shapelint's folding analyses merged with
+	// contain's subsumption analyses (SL010/SL011) — redundant definitions
+	// surface at load time, where removing one is still cheap.
+	lint := contain.LintMerged(cfg.Schema)
 	if errs := shapelint.Errors(lint); len(errs) > 0 && !cfg.AllowLintErrors {
 		return nil, fmt.Errorf("fragserver: schema has %d lint error(s) (set Config.AllowLintErrors to serve it anyway); first: %s",
 			len(errs), errs[0])
@@ -270,6 +284,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.pins.refs = make(map[uint64]int)
 	s.staleFloor.Store(s.store.Current().Epoch())
+	s.classShapes = append(append([]shape.Shape{}, s.requests...), defShapes(cfg.Schema)...)
 	s.replan(s.store.Current())
 	s.metrics = newServerMetrics(s)
 	s.handler = s.withObs(s.withLimit(s.withTimeout(s.routes())))
@@ -284,10 +299,42 @@ func (s *Server) replan(snap store.Snapshot) {
 	sp := plan.PlanSchema(s.h, store.SampleStats(snap), plan.Config{})
 	s.splan.Store(sp)
 	s.planSet.Store(sp.ProgramSet())
+	s.reclass()
+}
+
+// reclass rebuilds the containment equivalence-class table over the
+// request and definition shapes and installs the resulting alias map on
+// the neighborhood cache, so congruent definitions share cache entries
+// (a /fragment request equivalent to an already-cached definition is
+// served from the existing entries). Runs alongside replan: the classes
+// depend only on the schema, but rebuilding per epoch keeps the table's
+// lifecycle aligned with the planner's and makes the cost visible in one
+// place.
+func (s *Server) reclass() {
+	cl := contain.ComputeClasses(s.h, s.classShapes)
+	s.classes.Store(&cl)
+	s.containUnknown.Add(uint64(cl.UnknownPairs))
+	if s.cache != nil {
+		s.cache.SetAliases(cl.Aliases(s.classShapes))
+	}
+}
+
+// defShapes lists every definition's raw shape — the keys handleNode
+// caches neighborhoods under.
+func defShapes(h *schema.Schema) []shape.Shape {
+	var out []shape.Shape
+	for _, d := range h.Definitions() {
+		out = append(out, d.Shape)
+	}
+	return out
 }
 
 // SchemaPlan returns the current strategy plan (never nil after New).
 func (s *Server) SchemaPlan() *plan.SchemaPlan { return s.splan.Load() }
+
+// ContainmentClasses returns the current cache-sharing equivalence-class
+// table (never nil after New).
+func (s *Server) ContainmentClasses() *contain.Classes { return s.classes.Load() }
 
 // plansFor slices the current program set to one request window of
 // s.requests — the alignment core.ParallelOptions.Plans expects.
@@ -681,10 +728,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.cache != nil {
 		st := s.cache.Stats()
-		fmt.Fprintf(w, "cache: %d entries, %d triples (~%d bytes), %d hits, %d misses, %d evictions (%d triples)\n",
-			st.Entries, st.Triples, st.Bytes, st.Hits, st.Misses, st.Evictions, st.EvictedTriples)
+		fmt.Fprintf(w, "cache: %d entries, %d triples (~%d bytes), %d hits (%d via containment aliases), %d misses, %d evictions (%d triples)\n",
+			st.Entries, st.Triples, st.Bytes, st.Hits, st.AliasHits, st.Misses, st.Evictions, st.EvictedTriples)
 	} else {
 		fmt.Fprintln(w, "cache: disabled")
+	}
+	if cl := s.classes.Load(); cl != nil {
+		fmt.Fprintf(w, "containment: %d classes over %d shapes, %d shared, %d unknown pairs\n",
+			cl.NumClasses, len(cl.Rep), cl.Shared, s.containUnknown.Load())
 	}
 }
 

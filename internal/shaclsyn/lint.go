@@ -1,19 +1,23 @@
 package shaclsyn
 
 import (
+	"shaclfrag/internal/contain"
 	"shaclfrag/internal/schema"
 	"shaclfrag/internal/shapelint"
 )
 
 // LintSource parses a SHACL shapes graph in Turtle syntax, translates it
-// (Appendix A's t), and runs the shape linter over the result. Because
-// Translate names definitions after the shapes-graph nodes they came from,
-// the diagnostics point back at the IRIs (or deterministic blank-node
-// labels) of the SHACL source the author wrote, not at internal AST nodes.
+// (Appendix A's t), and runs the full diagnostic stream over the result:
+// shapelint's folding analyses (SL001–SL009) merged with contain's
+// subsumption analyses (SL010/SL011), sorted by (shape, code, position).
+// Because Translate names definitions after the shapes-graph nodes they
+// came from, the diagnostics point back at the IRIs (or deterministic
+// blank-node labels) of the SHACL source the author wrote, not at
+// internal AST nodes.
 func LintSource(src string) (*schema.Schema, []shapelint.Diagnostic, error) {
 	h, err := ParseSchema(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	return h, shapelint.Run(h), nil
+	return h, contain.LintMerged(h), nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"shaclfrag/internal/paths"
 	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/schema"
 	"shaclfrag/internal/shape"
 )
 
@@ -51,6 +52,9 @@ func (f *folder) foldDef(name rdf.Term) (shape.Shape, bool) {
 	if s, ok := f.defMemo[name]; ok {
 		return s, true
 	}
+	if f.l.h == nil {
+		return nil, false
+	}
 	def, ok := f.l.h.Def(name)
 	if !ok {
 		return nil, false
@@ -81,6 +85,49 @@ func (f *folder) emit(code string, sev Severity, detail, format string, args ...
 		return
 	}
 	f.l.emit(f.current[len(f.current)-1], code, sev, detail, fmt.Sprintf(format, args...))
+}
+
+// Folder exposes the linter's constant-folding engine to other analyses
+// (internal/contain uses it as a satisfiability/validity probe). It folds
+// quietly — no diagnostics are emitted — and memoizes per-definition
+// results across calls, so repeated probes against the same schema are
+// cheap.
+type Folder struct {
+	f *folder
+}
+
+// NewFolder builds a quiet folder over h. A nil schema is allowed: all
+// hasShape references then fold to ⊤, mirroring the evaluator's default
+// for undefined names.
+func NewFolder(h *schema.Schema) *Folder {
+	return &Folder{f: newFolder(&linter{h: h})}
+}
+
+// Fold rewrites phi toward a constant. The result is semantically
+// equivalent to phi on every graph: folding to ⊥ proves phi
+// unsatisfiable, folding to ⊤ proves it valid. phi need not be in NNF.
+func (f *Folder) Fold(phi shape.Shape) shape.Shape {
+	return f.f.probe(shape.NNF(phi))
+}
+
+// Fold is a one-shot convenience for NewFolder(h).Fold(phi).
+func Fold(h *schema.Schema, phi shape.Shape) shape.Shape {
+	return NewFolder(h).Fold(phi)
+}
+
+// IsTrue reports whether s is the literal ⊤ constant, as produced by
+// folding.
+func IsTrue(s shape.Shape) bool { return isTrue(s) }
+
+// IsFalse reports whether s is the literal ⊥ constant, as produced by
+// folding.
+func IsFalse(s shape.Shape) bool { return isFalse(s) }
+
+// TestsConflict reports whether two node tests are jointly
+// unsatisfiable: no single node can pass both.
+func TestsConflict(a, b shape.NodeTest) bool {
+	_, bad := testsConflict(a, b)
+	return bad
 }
 
 func isTrue(s shape.Shape) bool  { _, ok := s.(*shape.True); return ok }

@@ -95,6 +95,7 @@ func TestGoldenCorpusCoversAllCodes(t *testing.T) {
 		shapelint.CodeUnsat, shapelint.CodeTrivial, shapelint.CodeCardinality,
 		shapelint.CodeContradiction, shapelint.CodeClosed, shapelint.CodeDead,
 		shapelint.CodeShadowed, shapelint.CodeExpensivePath, shapelint.CodeUndefinedRef,
+		shapelint.CodeRedundant, shapelint.CodeImpliedConjunct,
 	}
 	for _, code := range all {
 		if !seen[code] {

@@ -24,11 +24,13 @@
 // satisfiable target that no targeted definition (transitively)
 // references — they can never select or constrain a focus node.
 //
-// Every diagnostic carries a stable code (SL001…SL009) suitable for
+// Every diagnostic carries a stable code (SL001…SL011) suitable for
 // golden tests and CI gating. internal/fragserver runs this pass at
 // schema load time, refusing hard-error schemas and exporting finding
 // counts per severity through internal/obs; the shaclfrag CLI exposes it
-// as the lint subcommand.
+// as the lint subcommand. The subsumption diagnostics SL010/SL011 are
+// produced by internal/contain (which builds on this package's folder
+// via Fold) and merged into the same diagnostic stream by callers.
 package shapelint
 
 import (
@@ -106,6 +108,15 @@ const (
 	// CodeUndefinedRef: hasShape names a shape the schema does not
 	// define; evaluation silently treats it as ⊤.
 	CodeUndefinedRef = "SL009"
+	// CodeRedundant: the definition is subsumed by another definition —
+	// every node it targets is also targeted by the other, whose shape is
+	// at least as strong, so removing the definition changes no validation
+	// verdict. Emitted by internal/contain's subsumption analysis.
+	CodeRedundant = "SL010"
+	// CodeImpliedConjunct: a conjunct is implied by a sibling conjunct of
+	// the same conjunction and therefore constrains nothing on its own.
+	// Emitted by internal/contain's subsumption analysis.
+	CodeImpliedConjunct = "SL011"
 )
 
 // Diagnostic is one positioned lint finding.
@@ -123,8 +134,6 @@ type Diagnostic struct {
 	Detail string
 	// Message states the defect.
 	Message string
-
-	defIndex int // declaration index, for deterministic ordering
 }
 
 // String renders "CODE severity shape: message (at detail)".
@@ -136,10 +145,10 @@ func (d Diagnostic) String() string {
 	return s
 }
 
-// Run lints a schema and returns its findings, most severe first within
-// each definition, definitions in declaration order. Run never touches a
-// data graph; its cost is linear in the schema size times the conjunction
-// widths. A nil schema has no findings.
+// Run lints a schema and returns its findings sorted by (shape, code,
+// position) — see Sort. Run never touches a data graph; its cost is
+// linear in the schema size times the conjunction widths. A nil schema
+// has no findings.
 func Run(h *schema.Schema) []Diagnostic {
 	if h == nil {
 		return nil
@@ -178,10 +187,21 @@ func Run(h *schema.Schema) []Diagnostic {
 	// Dead definitions: unreachable from any satisfiable target.
 	l.deadShapes(defs, folded)
 
-	sort.SliceStable(l.diags, func(i, j int) bool {
-		a, b := l.diags[i], l.diags[j]
-		if a.defIndex != b.defIndex {
-			return a.defIndex < b.defIndex
+	Sort(l.diags)
+	return l.diags
+}
+
+// Sort orders diagnostics deterministically by (shape IRI, code,
+// position), with the detail string standing in for the position inside
+// the shape and the message as the final tiebreaker. The order depends
+// only on the findings themselves — never on definition declaration
+// order or map iteration — so lint output is stable across runs and
+// across analyses that merge findings from several passes.
+func Sort(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if c := rdf.Compare(a.Shape, b.Shape); c != 0 {
+			return c < 0
 		}
 		if a.Code != b.Code {
 			return a.Code < b.Code
@@ -191,7 +211,6 @@ func Run(h *schema.Schema) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return l.diags
 }
 
 // Errors returns the error-severity findings.
@@ -242,7 +261,6 @@ func (l *linter) emit(name rdf.Term, code string, sev Severity, detail, message 
 		Shape:    name,
 		Detail:   detail,
 		Message:  message,
-		defIndex: l.defIdx[name],
 	})
 }
 

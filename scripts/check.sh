@@ -65,6 +65,27 @@ for f in examples/lint/*.ttl; do
     fi
 done
 
+echo "== containment soundness property gate"
+# A Contained verdict must never be refuted by randomized model search —
+# over the example schemas, random shape pairs, and the benchmark schema.
+$GO test -count=1 -run TestContainmentSoundness ./internal/contain
+
+echo "== shaclfrag schema-diff goldens"
+# The diff of the committed example versions covers every change kind;
+# its breaking changes must keep forcing exit 1, and both renderings must
+# match the goldens byte-for-byte (witness search is seeded, so the
+# output is reproducible).
+if out=$("$bin" schema-diff examples/diff/old.ttl examples/diff/new.ttl); then
+    echo "schema-diff exited 0 despite breaking changes" >&2
+    exit 1
+fi
+echo "$out" | diff -u examples/diff/report.golden -
+if out=$("$bin" schema-diff -json examples/diff/old.ttl examples/diff/new.ttl); then
+    echo "schema-diff -json exited 0 despite breaking changes" >&2
+    exit 1
+fi
+echo "$out" | diff -u examples/diff/report.json.golden -
+
 echo "== shaclfrag explain goldens"
 # The tourism walkthrough quoted in the README must keep matching the
 # committed goldens byte-for-byte (rendering and blank-node labels alike).
@@ -85,7 +106,7 @@ echo "== docs lint"
 $GO run ./cmd/doclint
 
 echo "== benchjson smoke"
-$GO run ./cmd/benchjson -smoke -bench 'Fig|Tab'
+$GO run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment'
 
 echo "== benchmark trajectory present"
 # The perf trajectory lives in repo-root BENCH_<n>.json snapshots
