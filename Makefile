@@ -47,12 +47,12 @@ bench-parallel:
 # allocs/op, git SHA) with <n> one past the last snapshot — the same
 # location `make check` asserts is non-empty.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench 'Fig|Tab|Containment' -benchtime 2s -dir .
+	$(GO) run ./cmd/benchjson -bench 'Fig|Tab|Containment|Traced' -benchtime 2s -dir .
 
 # The same suite at one iteration each: proves the benchmarks compile and
 # the parser still reads their output, writes nothing. Part of `make check`.
 bench-json-smoke:
-	$(GO) run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment'
+	$(GO) run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment|Traced'
 
 # Store-tier shard sweep at serving scale: the sharded backend (1/4/16
 # shards) against the single backend, snapshotted into the trajectory.

@@ -22,6 +22,7 @@ import (
 	"shaclfrag/internal/contain"
 	"shaclfrag/internal/core"
 	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/obs"
 	"shaclfrag/internal/paths"
 	"shaclfrag/internal/plan"
 	"shaclfrag/internal/rdf"
@@ -321,6 +322,41 @@ func BenchmarkFragmentParallel(b *testing.B) {
 			if _, err := core.NewExtractor(g, h).FragmentParallel(requests, opts); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkTracedExtraction prices hierarchical span tracing against the
+// untraced hot path on the identical workload: off passes a nil span (the
+// production default — every span call must compile to a nil-check), on
+// roots a fresh SpanTrace per op, so the delta is the full cost of growing
+// and timing the request's span tree. check.sh separately gates that the
+// off variant's allocs/op match BenchmarkFragmentParallel's — the tracing
+// plumbing must cost nothing when disabled.
+func BenchmarkTracedExtraction(b *testing.B) {
+	g := tyrolGraph(1000)
+	h := schema.MustNew(datagen.BenchmarkShapes()...)
+	requests := core.SchemaRequests(h)
+	g.Freeze()
+
+	b.Run("trace=off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewExtractor(g, h).FragmentParallel(requests,
+				core.ParallelOptions{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trace=on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trace := obs.NewSpanTrace("bench", obs.SpanContext{})
+			if _, err := core.NewExtractor(g, h).FragmentParallel(requests,
+				core.ParallelOptions{Workers: 4, Span: trace.Root()}); err != nil {
+				b.Fatal(err)
+			}
+			trace.Root().End()
 		}
 	})
 }

@@ -22,9 +22,13 @@
 // Observability: /metrics (Prometheus text), /healthz, /readyz and /stats
 // are served on the main address; -debug-addr starts a second, unthrottled
 // listener with /debug/pprof/*, /debug/vars (expvar, including the metric
-// registry) and a /metrics mirror, so profiling and scraping keep working
-// while the main listener sheds load. docs/OPERATIONS.md is the operator
-// guide: every flag, endpoint and metric.
+// registry) and /metrics and /debug/traces mirrors, so profiling, scraping
+// and trace retrieval keep working while the main listener sheds load.
+// -trace-sample 1-in-N head sampling records hierarchical span traces on
+// /debug/traces (OTLP-shaped JSON), links them to the latency histograms
+// via OpenMetrics exemplars, and -slow-request flags outliers in the log.
+// docs/OPERATIONS.md is the operator guide: every flag, endpoint and
+// metric.
 package main
 
 import (
@@ -71,6 +75,9 @@ func main() {
 	noExplain := flag.Bool("no-explain", false, "disable the /explain route")
 	attrSample := flag.Int("attribution-sample", 0, "attribute 1 in N extraction requests into the fragserver_attribution_* counters (0 disables; sampled requests bypass the neighborhood cache)")
 	maxUpdateBytes := flag.Int64("max-update-bytes", 8<<20, "largest delta body POST /update accepts")
+	traceSample := flag.Int("trace-sample", 0, "record a hierarchical span trace for 1 in N requests, served on /debug/traces (0 disables; requests with a sampled traceparent header are always traced)")
+	traceBuffer := flag.Int("trace-buffer", 0, "trace ring capacity for /debug/traces (0 = default 128)")
+	slowRequest := flag.Duration("slow-request", 0, "latency threshold for the structured slow-request warning; sampled slow traces are kept as notable (0 disables)")
 	jsonLogs := flag.Bool("json-logs", false, "deprecated alias for -log-format json")
 	flag.Parse()
 
@@ -102,6 +109,9 @@ func main() {
 		DisableExplain:    *noExplain,
 		AttributionSample: *attrSample,
 		MaxUpdateBytes:    *maxUpdateBytes,
+		TraceSample:       *traceSample,
+		TraceBuffer:       *traceBuffer,
+		SlowRequest:       *slowRequest,
 	})
 	if err != nil {
 		fatal(logger, "building server failed", err)
@@ -164,7 +174,12 @@ func serveDebug(addr string, srv *fragserver.Server, logger *slog.Logger) (func(
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	// The mirrors serve the same registry and trace ring as the main
+	// listener — exemplars, runtime telemetry and span trees included —
+	// so scraping and trace retrieval survive a saturated server.
 	mux.Handle("/metrics", srv.Metrics().Handler())
+	mux.Handle("/debug/traces", srv.Traces().Handler("fragserver"))
+	mux.Handle("/debug/traces/", srv.Traces().Handler("fragserver"))
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 
 	shaclfrag "shaclfrag"
 	"shaclfrag/internal/core"
+	"shaclfrag/internal/obs"
 	"shaclfrag/internal/plan"
 	"shaclfrag/internal/rdf"
 	"shaclfrag/internal/shape"
@@ -148,10 +149,19 @@ func cmdFragment(args []string) error {
 	backend := fs.String("backend", "single", "storage backend for the direct extractor: single or sharded")
 	shards := fs.Int("shards", 0, "shard count for -backend sharded (0 = default)")
 	workers := fs.Int("workers", 0, "parallel extraction workers (0 = GOMAXPROCS)")
+	traced := fs.Bool("trace", false, "print the extraction's span tree to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var trace *obs.SpanTrace
+	var root *obs.Span // nil without -trace: every span call is a no-op
+	if *traced {
+		trace = obs.NewSpanTrace("fragment", obs.SpanContext{})
+		root = trace.Root()
+	}
+	load := root.StartChild("load")
 	g, err := loadGraph(*dataPath)
+	load.End()
 	if err != nil {
 		return err
 	}
@@ -181,7 +191,9 @@ func cmdFragment(args []string) error {
 	if *strategy == "sparql" {
 		// The paper's translation strategy, unconditionally: build Q_S and
 		// evaluate it on the in-memory engine.
+		sq := root.StartChild("sparql-eval")
 		frag = shaclfrag.FragmentViaSPARQL(g, h, requests...)
+		sq.End()
 	} else {
 		// The direct extractor speaks the store tier: the parsed graph
 		// becomes epoch 1 of the selected backend and extraction reads it
@@ -216,12 +228,23 @@ func cmdFragment(args []string) error {
 			return fmt.Errorf("unknown -strategy %q (want auto, plan, direct or sparql)", *strategy)
 		}
 		x := core.NewExtractor(st.Current().Reader(), defs)
-		frag, err = x.FragmentParallel(requests, core.ParallelOptions{Workers: *workers, Plans: plans})
+		extract := root.StartChild("extract")
+		frag, err = x.FragmentParallel(requests, core.ParallelOptions{
+			Workers: *workers, Plans: plans, Span: extract,
+		})
+		extract.End()
 		if err != nil {
 			return err
 		}
 	}
+	serialize := root.StartChild("serialize")
 	out := shaclfrag.FormatNTriples(frag)
+	serialize.End()
+	if trace != nil {
+		root.SetAttrInt("triples", int64(len(frag)))
+		root.End()
+		trace.WriteTree(os.Stderr)
+	}
 	if *outPath == "" {
 		fmt.Print(out)
 		return nil
@@ -441,17 +464,28 @@ func cmdPlan(args []string) error {
 	shapesPath := fs.String("shapes", "", "shapes graph (Turtle)")
 	shapeName := fs.String("shape", "", "shape name (default: every definition)")
 	dataPath := fs.String("data", "", "data graph (Turtle); enables strategy decisions")
+	traced := fs.Bool("trace", false, "print the planning span tree (load, stats sampling, planning) to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var trace *obs.SpanTrace
+	var root *obs.Span
+	if *traced {
+		trace = obs.NewSpanTrace("plan", obs.SpanContext{})
+		root = trace.Root()
+	}
+	loadSp := root.StartChild("load-shapes")
 	h, err := loadSchema(*shapesPath)
+	loadSp.End()
 	if err != nil {
 		return err
 	}
 
 	var sp *plan.SchemaPlan
 	if *dataPath != "" {
+		loadSp := root.StartChild("load-data")
 		g, err := loadGraph(*dataPath)
+		loadSp.End()
 		if err != nil {
 			return err
 		}
@@ -460,7 +494,22 @@ func cmdPlan(args []string) error {
 		if err != nil {
 			return err
 		}
-		sp = plan.PlanSchema(h, store.SampleStats(st.Current()), plan.Config{})
+		statsSp := root.StartChild("sample-stats")
+		stats := store.SampleStats(st.Current())
+		statsSp.End()
+		planSp := root.StartChild("plan-schema")
+		sp = plan.PlanSchema(h, stats, plan.Config{})
+		planSp.SetAttrInt("instructions", int64(sp.ProgramSet().NumInstrs()))
+		planSp.End()
+	}
+	if trace != nil {
+		// The remaining work is the per-definition disassembly loop; the
+		// tree goes out after it so the root duration covers everything.
+		defer func() {
+			root.SetAttrInt("shapes", int64(h.Len()))
+			root.End()
+			trace.WriteTree(os.Stderr)
+		}()
 	}
 
 	printed := 0

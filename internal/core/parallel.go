@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,15 @@ type ParallelOptions struct {
 	// identity), dense-memo speed. Nil entries and all requests fall back
 	// to the AST when Recorder is set: plans carry no attribution.
 	Plans *plan.Set
+	// Span, when non-nil, is the parent span sampled requests hand down:
+	// extraction opens child spans under it — "bind" for plan binding,
+	// per-shard "shard[i]" accumulators on the scatter-gather path with
+	// "plan-exec"/"ast-exec" breakdown children, and the same exec
+	// breakdown directly under Span on the flat and serial paths — plus
+	// instructions / memo_resets / units / workers attributes. A nil Span
+	// (the unsampled common case) keeps the hot path free of any timing
+	// beyond the flat Tracer stages.
+	Span *obs.Span
 }
 
 // boundPlans binds the program set against g for one worker, returning a
@@ -85,6 +95,21 @@ func boundAt(bounds []*plan.Bound, req int) *plan.Bound {
 	return bounds[req]
 }
 
+// boundPlansSpan is boundPlans with the binding time accumulated into a
+// "bind" child when the request is sampled (workers bind privately, so
+// the child sums across workers).
+func boundPlansSpan(opts ParallelOptions, nreq int, g rdfgraph.Reader, sp *obs.Span) []*plan.Bound {
+	if sp == nil {
+		return boundPlans(opts, nreq, g)
+	}
+	begin := time.Now()
+	bounds := boundPlans(opts, nreq, g)
+	if bounds != nil {
+		sp.Observe("bind", time.Since(begin))
+	}
+	return bounds
+}
+
 // startStage begins timing one sub-stage against an optional tracer,
 // returning the stop function; a nil tracer costs one branch.
 func startStage(tr obs.Tracer, stage string) func() {
@@ -93,6 +118,95 @@ func startStage(tr obs.Tracer, stage string) func() {
 	}
 	begin := time.Now()
 	return func() { tr.Observe(stage, time.Since(begin)) }
+}
+
+// startStageSpan is startStage plus a child span under parent for
+// sampled requests. With both tracer and parent nil it degrades to the
+// same zero-cost no-op, so the unsampled hot path is unchanged.
+func startStageSpan(tr obs.Tracer, parent *obs.Span, stage string) (*obs.Span, func()) {
+	if tr == nil && parent == nil {
+		return nil, func() {}
+	}
+	sp := parent.StartChild(stage)
+	begin := time.Now()
+	return sp, func() {
+		if tr != nil {
+			tr.Observe(stage, time.Since(begin))
+		}
+		sp.End()
+	}
+}
+
+// workerSpanState is the per-worker accounting a sampled request asks of
+// each extraction goroutine: exec wall time accumulated into breakdown
+// children, unit counts, and memo resets summed at worker exit. All
+// methods no-op (one branch) when the request is unsampled.
+type workerSpanState struct {
+	parent *obs.Span   // span exec breakdown children accumulate under
+	shards []*obs.Span // per-shard accumulators, nil on flat/serial paths
+}
+
+// begin returns the unit start time, zero when unsampled — time.Now is
+// not called at all on the unsampled hot path.
+func (w *workerSpanState) begin() time.Time {
+	if w.parent == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// finish attributes one finished work unit: d into the shard accumulator
+// (when sharded) and into the plan-exec/ast-exec breakdown child.
+func (w *workerSpanState) finish(begin time.Time, shard int, planned bool) {
+	if w.parent == nil {
+		return
+	}
+	d := time.Since(begin)
+	target := w.parent
+	if w.shards != nil {
+		target = w.shards[shard]
+		target.Add(d)
+		target.AddAttrInt("units", 1)
+	} else {
+		target.AddAttrInt("units", 1)
+	}
+	if planned {
+		target.Observe("plan-exec", d)
+	} else {
+		target.Observe("ast-exec", d)
+	}
+}
+
+// done sums the worker's memo resets into the parent span at exit.
+func (w *workerSpanState) done(bounds []*plan.Bound) {
+	if w.parent == nil || bounds == nil {
+		return
+	}
+	var resets int64
+	for _, b := range bounds {
+		if b != nil {
+			resets += int64(b.Resets)
+		}
+	}
+	if resets > 0 {
+		w.parent.AddAttrInt("memo_resets", resets)
+	}
+}
+
+// spanAttrs stamps the request-level attributes a sampled extraction
+// carries: worker count, request and node counts, and the compiled
+// instruction count when plans are in play.
+func spanAttrs(opts ParallelOptions, workers, nreq, nnodes int) {
+	sp := opts.Span
+	if sp == nil {
+		return
+	}
+	sp.SetAttrInt("workers", int64(workers))
+	sp.SetAttrInt("requests", int64(nreq))
+	sp.SetAttrInt("nodes", int64(nnodes))
+	if opts.Plans != nil && opts.Recorder == nil {
+		sp.SetAttrInt("instructions", int64(opts.Plans.NumInstrs()))
+	}
 }
 
 // FragmentParallel computes Frag(G, S) like Fragment, fanning the
@@ -112,13 +226,14 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 	}
 	// Normalize once on the calling extractor so every worker agrees on
 	// shape identity and none re-derives NNF.
-	stopNNF := startStage(opts.Tracer, "nnf")
+	_, stopNNF := startStageSpan(opts.Tracer, opts.Span, "nnf")
 	nnfs := make([]shape.Shape, len(requests))
 	for i, phi := range requests {
 		nnfs[i] = x.nnf(phi)
 	}
 	stopNNF()
 	nodes := g.NodeIDs()
+	spanAttrs(opts, workers, len(requests), len(nodes))
 	if workers == 1 || len(nodes) == 0 || len(requests) == 0 {
 		return x.fragmentSerial(requests, nnfs, nodes, opts)
 	}
@@ -150,7 +265,9 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 			defer wg.Done()
 			wx := NewExtractor(g, x.ev.Defs)
 			wx.rec = opts.Recorder
-			bounds := boundPlans(opts, len(requests), g)
+			spans := workerSpanState{parent: opts.Span}
+			bounds := boundPlansSpan(opts, len(requests), g, opts.Span)
+			defer spans.done(bounds)
 			visited := make(map[VisitKey]struct{})
 			for {
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
@@ -167,7 +284,10 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 				if hi > len(nodes) {
 					hi = len(nodes)
 				}
-				wx.extractRange(requests[req], nnfs[req], boundAt(bounds, req), nodes[lo:hi], out, visited, opts.Cache, opts.Epoch)
+				b := boundAt(bounds, req)
+				begin := spans.begin()
+				wx.extractRange(requests[req], nnfs[req], b, nodes[lo:hi], out, visited, opts.Cache, opts.Epoch)
+				spans.finish(begin, 0, b != nil)
 			}
 		}()
 	}
@@ -175,7 +295,7 @@ func (x *Extractor) FragmentParallel(requests []shape.Shape, opts ParallelOption
 	if cancelled.Load() {
 		return nil, opts.Ctx.Err()
 	}
-	stopMerge := startStage(opts.Tracer, "merge")
+	_, stopMerge := startStageSpan(opts.Tracer, opts.Span, "merge")
 	defer stopMerge()
 	merged := outs[0]
 	for _, o := range outs[1:] {
@@ -208,28 +328,44 @@ func (x *Extractor) fragmentScatterGather(requests, nnfs []shape.Shape, parts []
 
 	// Scatter: chunk each shard's node list with the same granularity
 	// heuristic as the flat path, grouped by shard for index affinity.
-	stopScatter := startStage(opts.Tracer, "scatter")
+	// Units remember their owner shard so sampled requests can attribute
+	// exec time to per-shard spans.
+	_, stopScatter := startStageSpan(opts.Tracer, opts.Span, "scatter")
 	chunk := nnodes / (workers * 8)
 	if chunk < 16 {
 		chunk = 16
 	}
 	type unit struct {
 		req   int
+		shard int
 		nodes []rdfgraph.ID
 	}
 	var units []unit
-	for _, part := range parts {
+	for si, part := range parts {
 		for lo := 0; lo < len(part); lo += chunk {
 			hi := lo + chunk
 			if hi > len(part) {
 				hi = len(part)
 			}
 			for req := range requests {
-				units = append(units, unit{req: req, nodes: part[lo:hi]})
+				units = append(units, unit{req: req, shard: si, nodes: part[lo:hi]})
 			}
 		}
 	}
 	stopScatter()
+
+	// Per-shard accumulator spans: workers Add each unit's wall time to
+	// its shard's span, so one shard's span sums the CPU time spent on
+	// that shard's nodes regardless of which workers stole the units.
+	var shardSpans []*obs.Span
+	if opts.Span != nil {
+		opts.Span.SetAttrInt("shards", int64(len(parts)))
+		shardSpans = make([]*obs.Span, len(parts))
+		for i := range parts {
+			shardSpans[i] = opts.Span.AccumChild(fmt.Sprintf("shard[%d]", i))
+			shardSpans[i].SetAttrInt("shard_nodes", int64(len(parts[i])))
+		}
+	}
 
 	outs := make([]*rdfgraph.IDTripleSet, workers)
 	var next atomic.Int64
@@ -243,7 +379,9 @@ func (x *Extractor) fragmentScatterGather(requests, nnfs []shape.Shape, parts []
 			defer wg.Done()
 			wx := NewExtractor(g, x.ev.Defs)
 			wx.rec = opts.Recorder
-			bounds := boundPlans(opts, len(requests), g)
+			spans := workerSpanState{parent: opts.Span, shards: shardSpans}
+			bounds := boundPlansSpan(opts, len(requests), g, opts.Span)
+			defer spans.done(bounds)
 			visited := make(map[VisitKey]struct{})
 			for {
 				if opts.Ctx != nil && opts.Ctx.Err() != nil {
@@ -254,7 +392,10 @@ func (x *Extractor) fragmentScatterGather(requests, nnfs []shape.Shape, parts []
 				if u >= len(units) {
 					return
 				}
-				wx.extractRange(requests[units[u].req], nnfs[units[u].req], boundAt(bounds, units[u].req), units[u].nodes, out, visited, opts.Cache, opts.Epoch)
+				b := boundAt(bounds, units[u].req)
+				begin := spans.begin()
+				wx.extractRange(requests[units[u].req], nnfs[units[u].req], b, units[u].nodes, out, visited, opts.Cache, opts.Epoch)
+				spans.finish(begin, units[u].shard, b != nil)
 			}
 		}()
 	}
@@ -264,7 +405,7 @@ func (x *Extractor) fragmentScatterGather(requests, nnfs []shape.Shape, parts []
 	}
 
 	// Gather: union the per-worker sets, then decode canonically.
-	stopGather := startStage(opts.Tracer, "gather")
+	_, stopGather := startStageSpan(opts.Tracer, opts.Span, "gather")
 	defer stopGather()
 	merged := outs[0]
 	for _, o := range outs[1:] {
@@ -289,13 +430,18 @@ func (x *Extractor) fragmentSerial(requests []shape.Shape, nnfs []shape.Shape, n
 		defer func() { x.rec = prev }()
 	}
 	out := rdfgraph.NewIDTripleSet()
-	bounds := boundPlans(opts, len(requests), x.ev.G)
+	spans := workerSpanState{parent: opts.Span}
+	bounds := boundPlansSpan(opts, len(requests), x.ev.G, opts.Span)
+	defer spans.done(bounds)
 	visited := make(map[VisitKey]struct{})
 	for i := range requests {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			return nil, opts.Ctx.Err()
 		}
-		x.extractRange(requests[i], nnfs[i], boundAt(bounds, i), nodes, out, visited, opts.Cache, opts.Epoch)
+		b := boundAt(bounds, i)
+		begin := spans.begin()
+		x.extractRange(requests[i], nnfs[i], b, nodes, out, visited, opts.Cache, opts.Epoch)
+		spans.finish(begin, 0, b != nil)
 	}
 	return out.Triples(x.ev.G.Dict()), nil
 }

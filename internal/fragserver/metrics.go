@@ -2,6 +2,7 @@ package fragserver
 
 import (
 	"strconv"
+	"strings"
 	"time"
 
 	"shaclfrag/internal/obs"
@@ -39,6 +40,10 @@ const (
 	mContainUnknown  = "fragserver_containment_unknown_total"
 	mContainClasses  = "fragserver_containment_classes"
 	mContainShared   = "fragserver_containment_shared_shapes"
+	mTracesKept      = "fragserver_traces_kept"
+	mTracesSampled   = "fragserver_traces_sampled_total"
+	mTracesDropped   = "fragserver_traces_dropped_total"
+	mTracesEvicted   = "fragserver_traces_evicted_total"
 )
 
 // routeNames are the label values for the route label; requests outside
@@ -46,10 +51,15 @@ const (
 // bounded no matter what paths clients probe.
 var routeNames = []string{
 	"/validate", "/fragment", "/node", "/explain", "/tpf", "/update",
-	"/healthz", "/readyz", "/stats", "/metrics",
+	"/healthz", "/readyz", "/stats", "/metrics", "/debug/traces",
 }
 
 func normalizeRoute(path string) string {
+	// Trace fetches carry the trace ID as a path segment; fold them into
+	// the listing route so label cardinality stays bounded.
+	if strings.HasPrefix(path, "/debug/traces") {
+		return "/debug/traces"
+	}
 	for _, r := range routeNames {
 		if path == r {
 			return r
@@ -63,7 +73,7 @@ func normalizeRoute(path string) string {
 // registry lookups.
 var stageNames = []string{
 	"parse", "target", "extract", "serialize", "validate", "nnf", "merge",
-	"apply", "scatter", "gather",
+	"apply", "replan", "scatter", "gather",
 }
 
 // serverMetrics owns the server's registry plus the pre-created hot-path
@@ -288,16 +298,34 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.CounterFunc(mContainUnknown,
 		"Representative pairs the containment checker could not prove equivalent across class rebuilds — possibly-shareable cache partitions left separate.",
 		func() float64 { return float64(s.containUnknown.Load()) })
+
+	// Trace-registry series, sampled from the ring's own counters. kept is
+	// a gauge (the ring holds at most -trace-buffer traces); the rest are
+	// monotone decisions made by the head sampler and the evictor.
+	reg.GaugeFunc(mTracesKept, "Traces currently held in the /debug/traces ring.",
+		func() float64 { return float64(s.traces.Stats().Kept) })
+	reg.CounterFunc(mTracesSampled, "Requests elected for span tracing by the head sampler or an upstream traceparent.",
+		func() float64 { return float64(s.traces.Stats().Sampled) })
+	reg.CounterFunc(mTracesDropped, "Requests that ran without span tracing.",
+		func() float64 { return float64(s.traces.Stats().Dropped) })
+	reg.CounterFunc(mTracesEvicted, "Traces evicted from the ring to make room for newer ones.",
+		func() float64 { return float64(s.traces.Stats().Evicted) })
+
+	// Go runtime telemetry (heap, GC, goroutines, scheduler latency) is
+	// always on — it costs one runtime/metrics batch read per scrape.
+	obs.RegisterRuntimeMetrics(reg)
 	return m
 }
 
 // observe records the end-of-request rollup: the (route, status) counter,
 // the route latency histogram and byte counter, and every stage the
-// request's trace accumulated.
-func (m *serverMetrics) observe(route string, status int, bytes int64, dur time.Duration, tr *obs.Trace) {
+// request's trace accumulated. traceID is non-empty only for sampled
+// requests; the latency histogram stores it as the exemplar on the
+// bucket the request landed in, linking /metrics back to /debug/traces.
+func (m *serverMetrics) observe(route string, status int, bytes int64, dur time.Duration, tr *obs.Trace, traceID string) {
 	m.reg.Counter(mRequestsTotal, "Requests served, by route and HTTP status.",
 		obs.L("route", route), obs.L("status", strconv.Itoa(status))).Inc()
-	m.latency[route].ObserveDuration(dur)
+	m.latency[route].ObserveExemplar(dur.Seconds(), traceID)
 	if bytes > 0 {
 		m.respBytes[route].Add(uint64(bytes))
 	}

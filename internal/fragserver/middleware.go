@@ -79,10 +79,28 @@ func (sw *statusWriter) Flush() {
 // the stage fields appended and rolls the request up into the metrics
 // registry. Sitting outside withLimit means shed requests are counted
 // and logged too.
+//
+// It is also where hierarchical tracing starts and ends: when the head
+// sampler elects the request (or an upstream sent a sampled traceparent
+// header), a span tree is rooted under the trace, the continuation
+// traceparent goes out on the response, and the finished trace is kept
+// in the ring — error and slow traces marked notable. The route latency
+// histogram records the trace ID as the bucket's exemplar, linking
+// /metrics to /debug/traces.
 func (s *Server) withObs(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		route := normalizeRoute(r.URL.Path)
 		tr := obs.NewTrace()
+		var st *obs.SpanTrace
+		parent, hasParent := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if s.sampleTrace() || (hasParent && parent.Sampled) {
+			st = obs.NewSpanTrace(r.Method+" "+route, parent)
+			tr.SetRoot(st.Root())
+			w.Header().Set("traceparent", st.Traceparent())
+		} else {
+			s.traces.MarkDropped()
+		}
 		r = r.WithContext(obs.NewContext(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
@@ -90,7 +108,18 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 			sw.status = http.StatusOK
 		}
 		dur := time.Since(start)
-		s.metrics.observe(normalizeRoute(r.URL.Path), sw.status, sw.bytes, dur, tr)
+		slow := s.slowReq > 0 && dur >= s.slowReq
+		traceID := ""
+		if st != nil {
+			root := st.Root()
+			root.SetAttr("http.route", route)
+			root.SetAttrInt("http.status", int64(sw.status))
+			root.SetAttrInt("http.bytes", sw.bytes)
+			root.End()
+			s.traces.Keep(st, sw.status >= 500 || slow)
+			traceID = st.ID().String()
+		}
+		s.metrics.observe(route, sw.status, sw.bytes, dur, tr, traceID)
 		args := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
@@ -101,5 +130,12 @@ func (s *Server) withObs(next http.Handler) http.Handler {
 			"remote", r.RemoteAddr,
 		}
 		s.log.Info("request", append(args, tr.LogArgs()...)...)
+		if slow {
+			slowArgs := append(args, "threshold_ms", s.slowReq.Milliseconds())
+			if st != nil {
+				slowArgs = append(slowArgs, "trace_id", traceID, "top_spans", st.TopSpans(3))
+			}
+			s.log.Warn("slow request", slowArgs...)
+		}
 	})
 }

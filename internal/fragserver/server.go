@@ -50,6 +50,24 @@
 // cmd/fragserver can also publish it via expvar and mount it on an
 // unthrottled debug listener.
 //
+// # Tracing
+//
+// On top of the flat stages, a head sampler (Config.TraceSample) elects
+// requests for hierarchical span tracing: the middleware roots an
+// obs.SpanTrace, handlers open children with Trace.StartSpan, and
+// core.FragmentParallel grows per-shard gather spans and plan-exec
+// breakdowns under ParallelOptions.Span. An upstream W3C traceparent
+// request header with the sampled flag forces tracing and parents the
+// local root; the continuation traceparent goes out on the response.
+// Finished traces land in a bounded in-memory ring served as
+// OTLP-compatible JSON on /debug/traces (error and slow traces are
+// evicted last), requests slower than Config.SlowRequest additionally
+// emit a structured warning with the trace ID and top spans, and the
+// route latency histogram attaches the trace ID to its buckets as
+// OpenMetrics exemplars — so a scrape, a log line, and the trace ring
+// all cross-reference the same ID. Unsampled requests skip all of this:
+// every span method is nil-safe and the hot path stays allocation-free.
+//
 // The per-server obs.Registry makes instrumentation test-friendly: two
 // Servers in one process never share counters.
 package fragserver
@@ -137,6 +155,22 @@ type Config struct {
 	// MaxUpdateBytes bounds the request body accepted by POST /update;
 	// <= 0 means 8 MiB.
 	MaxUpdateBytes int64
+
+	// TraceSample enables head-based hierarchical tracing: 1 in N
+	// requests records a span tree served on /debug/traces (1 traces
+	// every request, 0 disables head sampling). Independently of N, a
+	// request arriving with a sampled W3C traceparent header is always
+	// traced — an upstream that decided to trace keeps its trace intact
+	// through this hop. Unsampled requests pay one atomic increment.
+	TraceSample int
+	// TraceBuffer is the trace ring capacity; <= 0 means 128. Error and
+	// slow traces are evicted last (see obs.TraceRegistry).
+	TraceBuffer int
+	// SlowRequest, when > 0, is the latency threshold beyond which a
+	// request gets a structured slow-request log line (with its trace ID
+	// and top spans when sampled), and its trace — if sampled — is kept
+	// as notable in the ring.
+	SlowRequest time.Duration
 }
 
 // Server serves shape fragments over HTTP. Create with New; the handler
@@ -195,6 +229,15 @@ type Server struct {
 	explainOff  bool
 	sampleN     int
 	sampleCount atomic.Uint64 // requests seen by the attribution sampler
+
+	// traces is the span-trace ring served on /debug/traces (never nil
+	// after New — with sampling off it only counts drops); traceSample
+	// and slowReq mirror Config.TraceSample / Config.SlowRequest, and
+	// traceCount drives the 1-in-N head sampler.
+	traces      *obs.TraceRegistry
+	traceSample int
+	slowReq     time.Duration
+	traceCount  atomic.Uint64
 }
 
 // New builds a server over g and h. The graph's dictionary is warmed with
@@ -281,11 +324,15 @@ func New(cfg Config) (*Server, error) {
 
 		explainOff: cfg.DisableExplain,
 		sampleN:    cfg.AttributionSample,
+
+		traces:      obs.NewTraceRegistry(cfg.TraceBuffer),
+		traceSample: cfg.TraceSample,
+		slowReq:     cfg.SlowRequest,
 	}
 	s.pins.refs = make(map[uint64]int)
 	s.staleFloor.Store(s.store.Current().Epoch())
 	s.classShapes = append(append([]shape.Shape{}, s.requests...), defShapes(cfg.Schema)...)
-	s.replan(s.store.Current())
+	s.replan(s.store.Current(), nil)
 	s.metrics = newServerMetrics(s)
 	s.handler = s.withObs(s.withLimit(s.withTimeout(s.routes())))
 	return s, nil
@@ -294,12 +341,22 @@ func New(cfg Config) (*Server, error) {
 // replan recomputes the strategy plan against cardinality stats sampled
 // from snap and publishes it. Called at load and after every effective
 // update: stats shift with the data, and with them the per-definition
-// plan-vs-direct choice and the memo-budget veto.
-func (s *Server) replan(snap store.Snapshot) {
+// plan-vs-direct choice and the memo-budget veto. parent (nil at load)
+// receives plan-size attributes and a reclass child span, so a sampled
+// /update trace shows how the post-apply recompute splits its time.
+func (s *Server) replan(snap store.Snapshot, parent *obs.Span) {
 	sp := plan.PlanSchema(s.h, store.SampleStats(snap), plan.Config{})
 	s.splan.Store(sp)
 	s.planSet.Store(sp.ProgramSet())
+	parent.SetAttrInt("instructions", int64(sp.ProgramSet().NumInstrs()))
+	parent.SetAttrInt("shapes", int64(len(sp.Decisions)))
+	rc := parent.StartChild("reclass")
 	s.reclass()
+	if cl := s.classes.Load(); cl != nil {
+		rc.SetAttrInt("classes", int64(cl.NumClasses))
+		rc.SetAttrInt("shared", int64(cl.Shared))
+	}
+	rc.End()
 }
 
 // reclass rebuilds the containment equivalence-class table over the
@@ -357,6 +414,19 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // load.
 func (s *Server) Metrics() *obs.Registry { return s.metrics.reg }
 
+// Traces returns the server's span-trace registry — the same ring
+// /debug/traces serves (never nil after New).
+func (s *Server) Traces() *obs.TraceRegistry { return s.traces }
+
+// sampleTrace is the head sampler: true for the 1st, N+1th, 2N+1th, …
+// request when TraceSample is N. A false costs one atomic increment.
+func (s *Server) sampleTrace() bool {
+	if s.traceSample <= 0 {
+		return false
+	}
+	return (s.traceCount.Add(1)-1)%uint64(s.traceSample) == 0
+}
+
 // Store returns the server's snapshot store. Callers embedding the server
 // can apply deltas directly through it, but going through POST /update is
 // preferred: only the handler keeps the neighborhood cache warm (Carry)
@@ -412,6 +482,8 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /metrics", s.metrics.reg.Handler())
+	mux.Handle("GET /debug/traces", s.traces.Handler("fragserver"))
+	mux.Handle("GET /debug/traces/{id}", s.traces.Handler("fragserver"))
 	return mux
 }
 
@@ -553,7 +625,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	defer done()
 	x := s.acquire(snap.Reader())
 	defer s.release(x)
-	stop := tr.Start("validate")
+	_, stop := tr.StartSpan("validate")
 	report := s.h.ValidateWith(x.Evaluator())
 	stop()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -572,7 +644,7 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 	tr := obs.FromContext(r.Context())
-	stopTarget := tr.Start("target")
+	_, stopTarget := tr.StartSpan("target")
 	requests := s.requests
 	lo, hi := 0, len(s.requests)
 	if name := r.URL.Query().Get("shape"); name != "" {
@@ -590,7 +662,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 	defer done()
 	x := s.acquire(snap.Reader())
 	defer s.release(x)
-	stopExtract := tr.Start("extract")
+	extractSpan, stopExtract := tr.StartSpan("extract")
 	triples, err := x.FragmentParallel(requests, core.ParallelOptions{
 		Workers:  s.workers,
 		Cache:    s.cache,
@@ -599,6 +671,7 @@ func (s *Server) handleFragment(w http.ResponseWriter, r *http.Request) {
 		Tracer:   tr,
 		Recorder: s.sampleAttribution(),
 		Plans:    s.plansFor(lo, hi),
+		Span:     extractSpan,
 	})
 	stopExtract()
 	if err != nil {
@@ -616,7 +689,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing iri parameter", http.StatusBadRequest)
 		return
 	}
-	stopParse := tr.Start("parse")
+	_, stopParse := tr.StartSpan("parse")
 	focus, err := parseTermParam(rawIRI)
 	stopParse()
 	if err != nil {
@@ -626,7 +699,7 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 	// B(v, G, φ) for the named definition's shape, or for every definition
 	// when no shape is given. Definition shapes are pointer-stable, so they
 	// double as neighborhood cache keys.
-	stopTarget := tr.Start("target")
+	_, stopTarget := tr.StartSpan("target")
 	var shapes []shape.Shape
 	if name := q.Get("shape"); name != "" {
 		i, ok := s.defIndex(name)
@@ -662,7 +735,8 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		x.SetRecorder(rec)
 		defer x.SetRecorder(nil)
 	}
-	stopExtract := tr.Start("extract")
+	extractSpan, stopExtract := tr.StartSpan("extract")
+	extractSpan.SetAttrInt("shapes", int64(len(shapes)))
 	out := rdfgraph.NewIDTripleSet()
 	for _, phi := range shapes {
 		if r.Context().Err() != nil {
@@ -673,13 +747,14 @@ func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
 		out.AddAll(x.NeighborhoodIDsCached(s.cache, snap.Epoch(), id, phi))
 	}
 	triples := out.Triples(snap.Reader().Dict())
+	extractSpan.SetAttrInt("triples", int64(len(triples)))
 	stopExtract()
 	s.streamNTriples(w, r, triples)
 }
 
 func (s *Server) handleTPF(w http.ResponseWriter, r *http.Request) {
 	tr := obs.FromContext(r.Context())
-	stopParse := tr.Start("parse")
+	_, stopParse := tr.StartSpan("parse")
 	pattern, err := parseTPFPattern(r.URL.Query())
 	stopParse()
 	if err != nil {
@@ -691,7 +766,7 @@ func (s *Server) handleTPF(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, done := s.snapshot(w)
 	defer done()
-	stopExtract := tr.Start("extract")
+	_, stopExtract := tr.StartSpan("extract")
 	triples := pattern.Eval(snap.Reader())
 	stopExtract()
 	s.streamNTriples(w, r, triples)
@@ -737,6 +812,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "containment: %d classes over %d shapes, %d shared, %d unknown pairs\n",
 			cl.NumClasses, len(cl.Rep), cl.Shared, s.containUnknown.Load())
 	}
+	ts := s.traces.Stats()
+	pct := 0.0
+	if total := ts.Sampled + ts.Dropped; total > 0 {
+		pct = 100 * float64(ts.Sampled) / float64(total)
+	}
+	fmt.Fprintf(w, "traces: %d kept (cap %d), %d sampled (%.1f%%), %d dropped, %d evicted\n",
+		ts.Kept, ts.Cap, ts.Sampled, pct, ts.Dropped, ts.Evicted)
 }
 
 // streamNTriples writes triples incrementally as application/n-triples,
@@ -750,7 +832,8 @@ func (s *Server) streamNTriples(w http.ResponseWriter, r *http.Request, triples 
 	if st := tr.ServerTiming(); st != "" {
 		w.Header().Set("Server-Timing", st)
 	}
-	defer tr.Start("serialize")()
+	_, stopSerialize := tr.StartSpan("serialize")
+	defer stopSerialize()
 	w.Header().Set("Content-Type", "application/n-triples")
 	w.Header().Set("X-Triple-Count", strconv.Itoa(len(triples)))
 	nw := turtle.NewNTriplesWriter(w)

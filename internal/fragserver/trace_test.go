@@ -1,0 +1,326 @@
+package fragserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/obs"
+	"shaclfrag/internal/schema"
+	"shaclfrag/internal/store"
+)
+
+// tracedConfig is newTestServer's graph and schema with tracing knobs and
+// the sharded backend, so sampled extractions grow per-shard spans.
+func tracedConfig(sample int) Config {
+	return Config{
+		Graph:       datagen.Tyrol(datagen.TyrolConfig{Individuals: 120, Seed: 9}),
+		Schema:      schema.MustNew(datagen.BenchmarkShapes()[:8]...),
+		Backend:     store.BackendSharded,
+		Shards:      3,
+		Workers:     4,
+		Logger:      quietLogger(),
+		TraceSample: sample,
+	}
+}
+
+func spanByName(sp *obs.Span, name string) *obs.Span {
+	for _, c := range sp.Children() {
+		if c.Name() == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// TestTraceHeadSampling pins the 1-in-N head sampler: with N=2, requests
+// alternate between traced (traceparent response header, trace kept) and
+// untraced (no header, drop counted).
+func TestTraceHeadSampling(t *testing.T) {
+	srv, ts := newUpdateTestServer(t, tracedConfig(2))
+	var traced, untraced int
+	for i := 0; i < 4; i++ {
+		resp, _ := get(t, ts, "/fragment")
+		if resp.Header.Get("traceparent") != "" {
+			traced++
+		} else {
+			untraced++
+		}
+	}
+	if traced != 2 || untraced != 2 {
+		t.Errorf("1-in-2 sampling over 4 requests: %d traced / %d untraced, want 2/2", traced, untraced)
+	}
+	st := srv.Traces().Stats()
+	if st.Sampled != 2 || st.Dropped != 2 || st.Kept != 2 {
+		t.Errorf("registry stats after 4 requests: %+v", st)
+	}
+}
+
+// TestTraceparentIngestion checks the W3C propagation contract with head
+// sampling off: a sampled upstream traceparent forces a trace that keeps
+// the upstream trace ID, an unsampled one leaves the request untraced.
+func TestTraceparentIngestion(t *testing.T) {
+	srv, ts := newUpdateTestServer(t, tracedConfig(0))
+	const upstream = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+	req, _ := http.NewRequest("GET", ts.URL+"/fragment", nil)
+	req.Header.Set("traceparent", "00-"+upstream+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cont := resp.Header.Get("traceparent")
+	if !strings.Contains(cont, upstream) {
+		t.Errorf("continuation traceparent %q lost the upstream trace ID", cont)
+	}
+	if _, ok := srv.Traces().Get(upstream); !ok {
+		t.Error("sampled upstream traceparent did not force a kept trace")
+	}
+
+	req, _ = http.NewRequest("GET", ts.URL+"/fragment", nil)
+	req.Header.Set("traceparent", "00-"+upstream+"-00f067aa0ba902b7-00")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h := resp.Header.Get("traceparent"); h != "" {
+		t.Errorf("unsampled upstream flag still produced traceparent %q", h)
+	}
+	if st := srv.Traces().Stats(); st.Sampled != 1 {
+		t.Errorf("unsampled upstream request was traced: %+v", st)
+	}
+}
+
+// TestDebugTracesEndToEnd is the tracing acceptance path: a sampled
+// /fragment over the sharded backend must surface on /debug/traces with
+// per-shard gather spans, the exec breakdown, and timings coherent with
+// the route latency histogram.
+func TestDebugTracesEndToEnd(t *testing.T) {
+	srv, ts := newUpdateTestServer(t, tracedConfig(1))
+	resp, _ := get(t, ts, "/fragment")
+	traceID := strings.Split(resp.Header.Get("traceparent"), "-")[1]
+
+	// The listing shows the trace, newest first, with its span count.
+	_, listing := get(t, ts, "/debug/traces")
+	var list struct {
+		Traces []obs.TraceSummary `json:"traces"`
+		Stats  obs.TraceStats     `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(listing), &list); err != nil {
+		t.Fatalf("/debug/traces listing: %v\n%s", err, listing)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].TraceID != traceID || list.Traces[0].Name != "GET /fragment" {
+		t.Fatalf("listing = %+v, want one GET /fragment trace %s", list.Traces, traceID)
+	}
+	if list.Traces[0].Spans < 5 {
+		t.Errorf("sampled extraction grew only %d spans", list.Traces[0].Spans)
+	}
+
+	// Fetching by ID returns OTLP-shaped JSON naming the shard spans.
+	fresp, otlp := get(t, ts, "/debug/traces/"+traceID)
+	if fresp.StatusCode != 200 {
+		t.Fatalf("GET /debug/traces/%s: %d", traceID, fresp.StatusCode)
+	}
+	for _, want := range []string{
+		`"resourceSpans"`, `"service.name"`, `"GET /fragment"`, `"extract"`,
+		`"shard[0]"`, `"shard[1]"`, `"shard[2]"`, `"scatter"`, `"gather"`,
+		`"http.route"`,
+	} {
+		if !strings.Contains(otlp, want) {
+			t.Errorf("OTLP trace missing %s", want)
+		}
+	}
+
+	// The span tree and the route histogram time the same request: the
+	// root span nests inside the middleware's histogram observation, and
+	// the extract span (with its shard children) nests inside the root.
+	st, ok := srv.Traces().Get(traceID)
+	if !ok {
+		t.Fatal("trace vanished from the registry")
+	}
+	root := st.Root()
+	extract := spanByName(root, "extract")
+	if extract == nil {
+		t.Fatalf("no extract span under root")
+	}
+	var shardSum time.Duration
+	for i := 0; i < 3; i++ {
+		sh := spanByName(extract, fmt.Sprintf("shard[%d]", i))
+		if sh == nil {
+			t.Fatalf("no shard[%d] span under extract", i)
+		}
+		shardSum += sh.Duration()
+	}
+	if shardSum <= 0 {
+		t.Error("shard spans accumulated no time")
+	}
+	// Accumulated shard work is bounded by extract wall time × workers.
+	if max := extract.Duration() * 4; shardSum > max {
+		t.Errorf("shard spans sum to %v > extract %v × 4 workers", shardSum, extract.Duration())
+	}
+	if extract.Duration() > root.Duration() {
+		t.Errorf("extract %v exceeds root %v", extract.Duration(), root.Duration())
+	}
+	_, metrics := get(t, ts, "/metrics")
+	histSum := metricValue(t, metrics, `fragserver_request_duration_seconds_sum{route="/fragment"}`)
+	rootSec := root.Duration().Seconds()
+	// 1ms epsilon: the exposition rounds the rendered sum.
+	if histSum < rootSec-0.001 {
+		t.Errorf("histogram sum %.6fs < root span %.6fs: the histogram observation wraps the span", histSum, rootSec)
+	}
+	if histSum-rootSec > 0.1 {
+		t.Errorf("histogram sum %.6fs and root span %.6fs diverge beyond middleware overhead", histSum, rootSec)
+	}
+}
+
+// TestExemplarLinksMetricsToTrace checks the cross-reference: the trace ID
+// a sampled request returns in its traceparent header must appear as the
+// OpenMetrics exemplar on the route latency histogram.
+func TestExemplarLinksMetricsToTrace(t *testing.T) {
+	_, ts := newUpdateTestServer(t, tracedConfig(1))
+	resp, _ := get(t, ts, "/fragment")
+	traceID := strings.Split(resp.Header.Get("traceparent"), "-")[1]
+
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	mresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, mresp)
+	mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(strings.TrimRight(body, "\n"), "# EOF") {
+		t.Error("OpenMetrics exposition does not end with # EOF")
+	}
+	want := `# {trace_id="` + traceID + `"}`
+	if !strings.Contains(body, want) {
+		t.Errorf("no exemplar %s on the OpenMetrics exposition", want)
+	}
+	// The plain Prometheus rendering stays exemplar-free for scrapers that
+	// do not negotiate OpenMetrics.
+	if _, plain := get(t, ts, "/metrics"); strings.Contains(plain, "trace_id=") {
+		t.Error("exemplar leaked into the text/plain rendering")
+	}
+}
+
+// TestSlowRequestLog drives a request past a 1ns threshold and expects the
+// structured warning carrying the trace ID and top spans.
+func TestSlowRequestLog(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tracedConfig(1)
+	cfg.Logger = slog.New(slog.NewTextHandler(&buf, nil))
+	cfg.SlowRequest = time.Nanosecond
+	srv, ts := newUpdateTestServer(t, cfg)
+	resp, _ := get(t, ts, "/fragment")
+	traceID := strings.Split(resp.Header.Get("traceparent"), "-")[1]
+
+	logs := buf.String()
+	if !strings.Contains(logs, "slow request") {
+		t.Fatalf("no slow-request warning in logs:\n%s", logs)
+	}
+	if !strings.Contains(logs, "trace_id="+traceID) {
+		t.Errorf("slow-request log does not carry trace_id=%s:\n%s", traceID, logs)
+	}
+	if !strings.Contains(logs, "top_spans=") {
+		t.Errorf("slow-request log has no top_spans field:\n%s", logs)
+	}
+	// A slow trace is notable: it survives eviction ahead of routine ones.
+	if st := srv.Traces().Stats(); st.Kept != 1 {
+		t.Errorf("slow trace not kept: %+v", st)
+	}
+}
+
+// TestStatsTracesLine checks the human-readable /stats rollup reports the
+// trace ring.
+func TestStatsTracesLine(t *testing.T) {
+	_, ts := newUpdateTestServer(t, tracedConfig(1))
+	get(t, ts, "/fragment")
+	_, body := get(t, ts, "/stats")
+	if !strings.Contains(body, "traces:") {
+		t.Errorf("/stats has no traces line:\n%s", body)
+	}
+	if !strings.Contains(body, "sampled") {
+		t.Errorf("/stats traces line lacks sampling stats:\n%s", body)
+	}
+}
+
+// TestUpdateTraceSpans checks the write path's span tree: a sampled
+// POST /update shows parse, apply (with effective-delta attributes), and
+// the replan/reclass recompute.
+func TestUpdateTraceSpans(t *testing.T) {
+	srv, ts := newUpdateTestServer(t, Config{TraceSample: 1, Logger: quietLogger()})
+	resp, body := post(t, ts, "/update", lineAE)
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /update: %d\n%s", resp.StatusCode, body)
+	}
+	traceID := strings.Split(resp.Header.Get("traceparent"), "-")[1]
+	st, ok := srv.Traces().Get(traceID)
+	if !ok {
+		t.Fatal("update trace not kept")
+	}
+	root := st.Root()
+	if root.Name() != "POST /update" {
+		t.Fatalf("root span %q", root.Name())
+	}
+	apply := spanByName(root, "apply")
+	if spanByName(root, "parse") == nil || apply == nil {
+		t.Fatalf("update trace lacks parse/apply spans; have %v", names(root))
+	}
+	var added int64
+	for _, a := range apply.Attrs() {
+		if a.Key == "added" {
+			added = a.Int
+		}
+	}
+	if added != 1 {
+		t.Errorf("apply span added attr = %d, want 1", added)
+	}
+	replan := spanByName(root, "replan")
+	if replan == nil {
+		t.Fatalf("effective update has no replan span; have %v", names(root))
+	}
+	if spanByName(replan, "reclass") == nil {
+		t.Error("replan span has no reclass child")
+	}
+}
+
+func names(sp *obs.Span) []string {
+	var out []string
+	for _, c := range sp.Children() {
+		out = append(out, c.Name())
+	}
+	return out
+}
+
+// TestTraceRingOnDebugEndpointEviction checks the /debug/traces ring is
+// bounded by TraceBuffer and reports evictions on /stats and /metrics.
+func TestTraceRingBounded(t *testing.T) {
+	cfg := tracedConfig(1)
+	cfg.TraceBuffer = 2
+	srv, ts := newUpdateTestServer(t, cfg)
+	for i := 0; i < 5; i++ {
+		get(t, ts, "/fragment")
+	}
+	st := srv.Traces().Stats()
+	if st.Kept != 2 || st.Cap != 2 {
+		t.Errorf("ring holds %d/%d, want 2/2", st.Kept, st.Cap)
+	}
+	if st.Evicted != 3 || st.Sampled != 5 {
+		t.Errorf("evicted %d sampled %d, want 3/5", st.Evicted, st.Sampled)
+	}
+	_, body := get(t, ts, "/metrics")
+	if v := metricValue(t, body, "fragserver_traces_evicted_total"); v != 3 {
+		t.Errorf("fragserver_traces_evicted_total = %v, want 3", v)
+	}
+}

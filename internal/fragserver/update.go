@@ -55,7 +55,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tr := obs.FromContext(r.Context())
-	stopParse := tr.Start("parse")
+	_, stopParse := tr.StartSpan("parse")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxUpdate))
 	if err != nil {
 		stopParse()
@@ -85,7 +85,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		delta = rdfgraph.Delta{Del: triples}
 	}
 	before := s.store.Current().Epoch()
-	stopApply := tr.Start("apply")
+	applySpan, stopApply := tr.StartSpan("apply")
 	res := s.store.Apply(delta)
 	carried := 0
 	if res.Changed && s.cache != nil {
@@ -93,12 +93,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// did not affect are valid verbatim in the new epoch.
 		carried = s.cache.Carry(before, res.Snapshot.Epoch(), res.Unaffected)
 	}
+	applySpan.SetAttrInt("added", int64(res.Added))
+	applySpan.SetAttrInt("deleted", int64(res.Deleted))
+	applySpan.SetAttrInt("carried", int64(carried))
 	stopApply()
 
 	if res.Changed {
 		// Re-plan against the new epoch's cardinalities: the strategy
 		// choices and the memo-budget veto track the data they price.
-		s.replan(res.Snapshot)
+		replanSpan, stopReplan := tr.StartSpan("replan")
+		s.replan(res.Snapshot, replanSpan)
+		stopReplan()
 		s.metrics.updApplied.Inc()
 		s.metrics.updAdded.Add(uint64(res.Added))
 		s.metrics.updDeleted.Add(uint64(res.Deleted))

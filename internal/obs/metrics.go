@@ -57,6 +57,18 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits, updated by CAS
 	total  atomic.Uint64
+
+	// exemplars holds the most recent exemplar-carrying observation per
+	// bucket (nil until one lands). Swapped whole via atomic pointers so
+	// renders never see a torn (value, trace) pair.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one concrete observation to the trace that produced it,
+// rendered in OpenMetrics exemplar syntax after the bucket's sample.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 // NewHistogram returns a histogram over the given ascending upper bounds;
@@ -71,20 +83,15 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
-	// Linear scan: bucket counts are small and fixed, and the scan is
-	// branch-predictable; a binary search would not pay for itself.
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i].Add(1)
+	h.counts[h.bucket(v)].Add(1)
 	h.total.Add(1)
 	for {
 		old := h.sum.Load()
@@ -92,6 +99,39 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// bucket returns the index of the bucket v lands in. Linear scan: bucket
+// counts are small and fixed, and the scan is branch-predictable; a
+// binary search would not pay for itself.
+func (h *Histogram) bucket(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
+}
+
+// ObserveExemplar records one value and remembers traceID as the
+// bucket's exemplar: the last sampled request to land in each latency
+// bucket stays linked from /metrics to /debug/traces. An empty traceID
+// degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[h.bucket(v)].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// Exemplars returns the current per-bucket exemplars, aligned with
+// Cumulative (nil entries where no exemplar has landed).
+func (h *Histogram) Exemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // ObserveDuration records a duration in seconds.
@@ -283,18 +323,28 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WritePrometheus renders every registered metric in the Prometheus text
-// exposition format: families in registration order, series within a
-// family in sorted label order, histograms with cumulative le buckets
-// plus _sum and _count.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// renderFamily is a consistent point-in-time copy of one family taken
+// under the registry lock, for rendering after the lock is released.
+type renderFamily struct {
+	f        *family
+	children []*child
+}
+
+// renderSnapshot copies the families in sorted name order with children
+// in sorted label order. Sorting by name (rather than registration
+// order) makes the exposition byte-for-byte deterministic regardless of
+// which code path touched the registry first — registration order
+// depends on request interleaving, which made scrape diffs noisy.
+func (r *Registry) renderSnapshot() []renderFamily {
 	r.mu.Lock()
-	type renderFamily struct {
-		f        *family
-		children []*child
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
 	}
-	fams := make([]renderFamily, 0, len(r.order))
-	for _, name := range r.order {
+	sort.Strings(names)
+	fams := make([]renderFamily, 0, len(names))
+	for _, name := range names {
 		f := r.families[name]
 		keys := make([]string, 0, len(f.children))
 		for k := range f.children {
@@ -307,9 +357,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fams = append(fams, renderFamily{f: f, children: children})
 	}
-	r.mu.Unlock()
+	return fams
+}
 
-	for _, rf := range fams {
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format: families in sorted name order, series within a
+// family in sorted label order, histograms with cumulative le buckets
+// plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, rf := range r.renderSnapshot() {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
 			rf.f.name, rf.f.help, rf.f.name, rf.f.kind); err != nil {
 			return err
@@ -321,6 +377,39 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteOpenMetrics renders the registry in the OpenMetrics text format:
+// the same samples as WritePrometheus plus exemplar annotations on
+// histogram buckets, counter families declared under their base name
+// (the `_total` suffix moves to the sample line, as the spec requires),
+// and the mandatory `# EOF` terminator. Exemplars are what link a
+// latency bucket to the trace ID of the last sampled request that
+// landed in it.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	for _, rf := range r.renderSnapshot() {
+		base := rf.f.name
+		if rf.f.kind == kindCounter {
+			base = strings.TrimSuffix(base, "_total")
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			base, rf.f.help, base, rf.f.kind); err != nil {
+			return err
+		}
+		for _, c := range rf.children {
+			var err error
+			if c.hist != nil {
+				err = writeHistogramOM(w, rf.f.name, c)
+			} else {
+				err = writeSeries(w, rf.f.name, c)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
 }
 
 func writeSeries(w io.Writer, name string, c *child) error {
@@ -366,10 +455,54 @@ func writeHistogram(w io.Writer, name string, c *child) error {
 	return nil
 }
 
-// Handler returns an http.Handler serving WritePrometheus — mount it as
-// /metrics.
+// writeHistogramOM renders one histogram series in OpenMetrics form:
+// identical to writeHistogram except that buckets carrying an exemplar
+// get the `# {trace_id="…"} value` suffix. Exemplar timestamps are
+// omitted (they are optional in the spec) so the output stays
+// deterministic for a fixed set of observations.
+func writeHistogramOM(w io.Writer, name string, c *child) error {
+	cum := c.hist.Cumulative()
+	ex := c.hist.Exemplars()
+	open := "{"
+	if c.labels != "" {
+		open = strings.TrimSuffix(c.labels, "}") + ","
+	}
+	writeBucket := func(le string, i int) error {
+		suffix := ""
+		if e := ex[i]; e != nil {
+			suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s", e.TraceID, formatFloat(e.Value))
+		}
+		_, err := fmt.Fprintf(w, "%s_bucket%sle=\"%s\"} %d%s\n", name, open, le, cum[i], suffix)
+		return err
+	}
+	for i, bound := range c.hist.bounds {
+		if err := writeBucket(formatFloat(bound), i); err != nil {
+			return err
+		}
+	}
+	if err := writeBucket("+Inf", len(cum)-1); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+		name, c.labels, formatFloat(c.hist.Sum()), name, c.labels, c.hist.Count())
+	return err
+}
+
+// openMetricsContentType is the content type the OpenMetrics exposition
+// is served under when the scraper negotiates for it.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry — mount it as
+// /metrics. Scrapers that send `Accept: application/openmetrics-text`
+// (Prometheus does when exemplar storage is on) get the OpenMetrics
+// exposition with exemplars; everyone else gets the classic text format.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			r.WriteOpenMetrics(w) //nolint:errcheck — nothing to do about a failed write
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w) //nolint:errcheck — nothing to do about a failed write
 	})

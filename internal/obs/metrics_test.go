@@ -93,33 +93,28 @@ func TestObserveDuration(t *testing.T) {
 }
 
 // TestRegistryGolden renders a registry with deterministic values and
-// compares the whole Prometheus text output byte for byte.
+// compares the whole Prometheus text output byte for byte. Families are
+// rendered in sorted name order regardless of registration order — the
+// registry is populated "latency before inflight" here on purpose.
 func TestRegistryGolden(t *testing.T) {
 	r := NewRegistry()
-	r.Counter("app_requests_total", "Requests served.", L("route", "/fragment"), L("status", "200")).Add(3)
-	r.Counter("app_requests_total", "Requests served.", L("route", "/node"), L("status", "404")).Inc()
-	r.Gauge("app_inflight", "Requests in flight.").Set(2)
-	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 42.5 })
 	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
 	h.Observe(0.005)
 	h.Observe(0.05)
 	h.Observe(0.05)
 	h.Observe(5)
+	r.Counter("app_requests_total", "Requests served.", L("route", "/fragment"), L("status", "200")).Add(3)
+	r.Counter("app_requests_total", "Requests served.", L("route", "/node"), L("status", "404")).Inc()
+	r.Gauge("app_inflight", "Requests in flight.").Set(2)
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 42.5 })
 
 	var b strings.Builder
 	if err := r.WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := `# HELP app_requests_total Requests served.
-# TYPE app_requests_total counter
-app_requests_total{route="/fragment",status="200"} 3
-app_requests_total{route="/node",status="404"} 1
-# HELP app_inflight Requests in flight.
+	want := `# HELP app_inflight Requests in flight.
 # TYPE app_inflight gauge
 app_inflight 2
-# HELP app_uptime_seconds Uptime.
-# TYPE app_uptime_seconds gauge
-app_uptime_seconds 42.5
 # HELP app_latency_seconds Request latency.
 # TYPE app_latency_seconds histogram
 app_latency_seconds_bucket{le="0.01"} 1
@@ -128,9 +123,80 @@ app_latency_seconds_bucket{le="1"} 3
 app_latency_seconds_bucket{le="+Inf"} 4
 app_latency_seconds_sum 5.105
 app_latency_seconds_count 4
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{route="/fragment",status="200"} 3
+app_requests_total{route="/node",status="404"} 1
+# HELP app_uptime_seconds Uptime.
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 42.5
 `
 	if b.String() != want {
 		t.Errorf("prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestOpenMetricsGolden pins the OpenMetrics exposition: counter TYPE
+// lines under the base name (no _total), exemplar suffixes on buckets
+// that have one, and the # EOF terminator.
+func TestOpenMetricsGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("om_requests_total", "Requests served.").Add(2)
+	h := r.Histogram("om_latency_seconds", "Request latency.", []float64{0.01, 0.1, 1})
+	h.ObserveExemplar(0.005, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(0.05, "00f067aa0ba902b700f067aa0ba902b7")
+	h.Observe(0.05) // no exemplar: earlier one must survive
+	h.ObserveExemplar(5, "")
+
+	var b strings.Builder
+	if err := r.WriteOpenMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP om_latency_seconds Request latency.
+# TYPE om_latency_seconds histogram
+om_latency_seconds_bucket{le="0.01"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.005
+om_latency_seconds_bucket{le="0.1"} 3 # {trace_id="00f067aa0ba902b700f067aa0ba902b7"} 0.05
+om_latency_seconds_bucket{le="1"} 3
+om_latency_seconds_bucket{le="+Inf"} 4
+om_latency_seconds_sum 5.105
+om_latency_seconds_count 4
+# HELP om_requests Requests served.
+# TYPE om_requests counter
+om_requests_total 2
+# EOF
+`
+	if b.String() != want {
+		t.Errorf("openmetrics text mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestHandlerNegotiation checks that the /metrics handler serves
+// OpenMetrics (with exemplars) only when the scraper asks for it.
+func TestHandlerNegotiation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("neg_latency_seconds", "L.", []float64{1})
+	h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text;version=1.0.0,text/plain;q=0.5")
+	r.Handler().ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("Content-Type = %q, want openmetrics", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.5`) {
+		t.Errorf("openmetrics body missing exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("openmetrics body missing EOF terminator:\n%s", body)
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body = rec.Body.String()
+	if strings.Contains(body, "trace_id") || strings.Contains(body, "# EOF") {
+		t.Errorf("classic exposition must not carry exemplars or EOF:\n%s", body)
 	}
 }
 

@@ -1,16 +1,25 @@
 // Package obs is the stdlib-only observability layer of the serving
 // stack: atomic counters and gauges, fixed-bucket latency histograms, a
-// labeled metric Registry that renders the Prometheus text exposition
-// format and publishes itself through expvar, and a lightweight
-// per-request Trace that records named stage durations (parse → target →
-// extract → serialize) for Server-Timing headers and structured log
-// fields.
+// labeled metric Registry that renders the Prometheus and OpenMetrics
+// text exposition formats (the latter with trace exemplars) and
+// publishes itself through expvar, a lightweight per-request Trace that
+// records named stage durations (parse → target → extract → serialize)
+// for Server-Timing headers and structured log fields, and a
+// hierarchical span tree (SpanTrace / Span) for sampled requests with
+// W3C traceparent propagation, a bounded TraceRegistry served as
+// /debug/traces in OTLP-compatible JSON, and always-on runtime
+// telemetry sampled from runtime/metrics.
 //
 // The package exists so that performance claims about fragment serving
 // are measured by the server itself rather than by ad-hoc external
 // benchmarks: internal/fragserver threads a Registry and per-request
 // Traces through its handler chain, and internal/core emits extraction
-// sub-stage timings into the same Trace via the Tracer interface.
+// sub-stage timings into the same Trace via the Tracer interface. When
+// a request is head-sampled, the flat Trace additionally carries a span
+// tree root (Trace.SetRoot / Trace.StartSpan), and deeper layers open
+// per-shard and per-stage child spans under it; exemplar-aware
+// histograms then link each latency bucket to the trace ID of the last
+// sampled request that landed in it.
 //
 // # Concurrency
 //
@@ -28,5 +37,8 @@
 // A counter increment is one atomic add; a histogram observation is two
 // atomic adds plus a branchless bucket search over a small fixed bound
 // slice. Nothing allocates on the hot path, so instrumented serving code
-// can leave metrics enabled unconditionally.
+// can leave metrics enabled unconditionally. Span methods are nil-safe
+// no-ops: an unsampled request carries nil spans and pays one branch per
+// call, while sampled requests pay lock-free CAS publication for child
+// spans and atomic adds for duration accumulation.
 package obs

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSamples names the runtime/metrics series the collector exports
+// and the registry series each feeds. GC pauses arrive as a float64
+// histogram; its count is exact and its sum is approximated from bucket
+// midpoints (the runtime does not expose the exact total here).
+var runtimeSamples = []struct {
+	src  string
+	name string
+	help string
+	kind string // "gauge" or "counter"
+}{
+	{"/sched/goroutines:goroutines", "runtime_goroutines",
+		"Live goroutines, sampled at scrape time.", "gauge"},
+	{"/memory/classes/heap/objects:bytes", "runtime_heap_objects_bytes",
+		"Bytes occupied by live heap objects plus not-yet-reclaimed dead ones.", "gauge"},
+	{"/memory/classes/total:bytes", "runtime_memory_total_bytes",
+		"All memory mapped by the Go runtime (heap, stacks, metadata).", "gauge"},
+	{"/gc/heap/allocs:bytes", "runtime_heap_allocs_bytes_total",
+		"Cumulative bytes allocated on the heap since process start.", "counter"},
+	{"/gc/cycles/total:gc-cycles", "runtime_gc_cycles_total",
+		"Completed GC cycles since process start.", "counter"},
+	{"/gc/pauses:seconds", "runtime_gc_pauses_total",
+		"Stop-the-world GC pauses since process start.", "counter"},
+	{"/gc/pauses:seconds", "runtime_gc_pause_seconds_total",
+		"Approximate total stop-the-world GC pause seconds (histogram bucket midpoints).", "counter"},
+}
+
+// runtimeCollector reads the runtime/metrics samples at most once per
+// refresh interval, so a registry with seven runtime series costs one
+// metrics.Read per scrape rather than seven.
+type runtimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	last    time.Time
+}
+
+const runtimeRefresh = 250 * time.Millisecond
+
+func (c *runtimeCollector) value(i int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.last) > runtimeRefresh {
+		metrics.Read(c.samples)
+		c.last = now
+	}
+	s := c.samples[i]
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	case metrics.KindFloat64Histogram:
+		h := s.Value.Float64Histogram()
+		if runtimeSamples[i].name == "runtime_gc_pauses_total" {
+			var n uint64
+			for _, c := range h.Counts {
+				n += c
+			}
+			return float64(n)
+		}
+		// Approximate sum: counts × bucket midpoints. Buckets are
+		// (Buckets[j], Buckets[j+1]] with possibly infinite outer edges;
+		// clamp those to the adjacent finite edge.
+		var sum float64
+		for j, cnt := range h.Counts {
+			if cnt == 0 {
+				continue
+			}
+			lo, hi := h.Buckets[j], h.Buckets[j+1]
+			mid := (lo + hi) / 2
+			if isInf(lo) {
+				mid = hi
+			} else if isInf(hi) {
+				mid = lo
+			}
+			sum += float64(cnt) * mid
+		}
+		return sum
+	default:
+		return 0
+	}
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }
+
+// RegisterRuntimeMetrics registers always-on process telemetry in the
+// registry: goroutine count, heap and total memory gauges, cumulative
+// allocation bytes, and GC cycle/pause counters, all sampled from
+// runtime/metrics at scrape time. Unsupported series on older runtimes
+// are skipped rather than exported as zeros.
+func RegisterRuntimeMetrics(reg *Registry) {
+	known := make(map[string]bool)
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	c := &runtimeCollector{samples: make([]metrics.Sample, len(runtimeSamples))}
+	for i, rs := range runtimeSamples {
+		c.samples[i].Name = rs.src
+	}
+	for i, rs := range runtimeSamples {
+		if !known[rs.src] {
+			continue
+		}
+		i := i
+		fn := func() float64 { return c.value(i) }
+		if rs.kind == "counter" {
+			reg.CounterFunc(rs.name, rs.help, fn)
+		} else {
+			reg.GaugeFunc(rs.name, rs.help, fn)
+		}
+	}
+}

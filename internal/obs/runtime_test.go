@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntimeMetrics registers the runtime series and checks the
+// exposition carries live values: goroutines must be >= 1 and heap
+// allocation bytes > 0 in any running process.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range []string{
+		"runtime_goroutines",
+		"runtime_heap_objects_bytes",
+		"runtime_memory_total_bytes",
+		"runtime_heap_allocs_bytes_total",
+		"runtime_gc_cycles_total",
+		"runtime_gc_pauses_total",
+		"runtime_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+
+	snap := r.Snapshot()
+	if g, ok := snap["runtime_goroutines"].(float64); !ok || g < 1 {
+		t.Errorf("runtime_goroutines = %v, want >= 1", snap["runtime_goroutines"])
+	}
+	if a, ok := snap["runtime_heap_allocs_bytes_total"].(float64); !ok || a <= 0 {
+		t.Errorf("runtime_heap_allocs_bytes_total = %v, want > 0", snap["runtime_heap_allocs_bytes_total"])
+	}
+
+	// Force a GC, then register on a fresh registry (fresh collector, no
+	// stale 250ms cache): the cycle counter must see the forced cycle.
+	runtime.GC()
+	r2 := NewRegistry()
+	RegisterRuntimeMetrics(r2)
+	if c, ok := r2.Snapshot()["runtime_gc_cycles_total"].(float64); !ok || c < 1 {
+		t.Errorf("runtime_gc_cycles_total = %v after runtime.GC(), want >= 1", c)
+	}
+}

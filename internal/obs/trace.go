@@ -33,11 +33,36 @@ type Trace struct {
 	mu     sync.Mutex
 	stages []Stage
 	index  map[string]int
+
+	// root is the request's span tree when the request was sampled for
+	// hierarchical tracing, nil otherwise. Set once before the handler
+	// runs (SetRoot), read concurrently afterwards — the *Span methods
+	// are themselves concurrency-safe and nil-safe.
+	root *Span
 }
 
 // NewTrace returns an empty trace.
 func NewTrace() *Trace {
 	return &Trace{index: make(map[string]int)}
+}
+
+// SetRoot attaches the request's span tree root. Call before handing the
+// trace to concurrent code; a nil root (unsampled request) is fine.
+func (t *Trace) SetRoot(sp *Span) {
+	if t == nil {
+		return
+	}
+	t.root = sp
+}
+
+// Root returns the span-tree root for sampled requests, nil otherwise
+// (including on a nil Trace) — and nil *Span methods no-op, so the
+// result is usable unconditionally.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
 }
 
 // Observe adds d to the named stage, creating it on first observation.
@@ -68,6 +93,24 @@ func (t *Trace) Start(stage string) func() {
 	return func() { t.Observe(stage, time.Since(begin)) }
 }
 
+// StartSpan brackets a stage like Start while additionally opening a
+// child span under the trace's root (when the request is sampled): the
+// returned span is nil-safe and may be handed to deeper layers as a
+// parent; the stop function ends the span and records the flat stage in
+// one call. On a nil or unsampled trace the span is nil and stop only
+// feeds the flat stage list (or nothing, on a nil trace).
+func (t *Trace) StartSpan(stage string) (*Span, func()) {
+	if t == nil {
+		return nil, func() {}
+	}
+	sp := t.root.StartChild(stage)
+	begin := time.Now()
+	return sp, func() {
+		t.Observe(stage, time.Since(begin))
+		sp.End()
+	}
+}
+
 // Stages returns a copy of the recorded stages in first-observation order.
 func (t *Trace) Stages() []Stage {
 	if t == nil {
@@ -84,6 +127,11 @@ func (t *Trace) Stages() []Stage {
 //	parse;dur=0.11, extract;dur=41.52, serialize;dur=3.90
 //
 // Returns "" for an empty or nil trace, so callers can skip the header.
+//
+// Stage names are sanitized to RFC 9110 token characters before they
+// reach the header: a name containing ';', '"', ',' or control bytes
+// could otherwise inject extra Server-Timing parameters or split the
+// header value, so every non-token byte is replaced with '_'.
 func (t *Trace) ServerTiming() string {
 	stages := t.Stages()
 	if len(stages) == 0 {
@@ -94,9 +142,33 @@ func (t *Trace) ServerTiming() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "%s;dur=%.2f", s.Name, float64(s.Dur)/float64(time.Millisecond))
+		fmt.Fprintf(&b, "%s;dur=%.2f", sanitizeToken(s.Name), float64(s.Dur)/float64(time.Millisecond))
 	}
 	return b.String()
+}
+
+// sanitizeToken maps a stage name onto the header-token alphabet
+// [A-Za-z0-9_.-], replacing everything else (';', '"', ',', spaces,
+// control bytes) with '_'. Names that are already tokens — every stage
+// the serving stack emits — come back unchanged without allocating.
+func sanitizeToken(name string) string {
+	clean := func(c byte) bool {
+		return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+	}
+	for i := 0; i < len(name); i++ {
+		if clean(name[i]) {
+			continue
+		}
+		out := []byte(name)
+		for j := i; j < len(out); j++ {
+			if !clean(out[j]) {
+				out[j] = '_'
+			}
+		}
+		return string(out)
+	}
+	return name
 }
 
 // LogArgs renders the trace as alternating key/value pairs for slog

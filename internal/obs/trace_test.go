@@ -34,6 +34,36 @@ func TestTraceServerTiming(t *testing.T) {
 	}
 }
 
+// TestTraceServerTimingInjection feeds stage names containing header
+// metacharacters: a name like `extract;desc="x"` must not smuggle extra
+// Server-Timing parameters into the response header.
+func TestTraceServerTimingInjection(t *testing.T) {
+	tr := NewTrace()
+	tr.Observe(`extract;desc="evil", attack`, time.Millisecond)
+	tr.Observe("ok.stage-2", 2*time.Millisecond)
+	got := tr.ServerTiming()
+	if strings.ContainsAny(got, `";`+"\r\n") && !strings.Contains(got, ";dur=") {
+		t.Fatalf("unsanitized header: %q", got)
+	}
+	want := `extract_desc__evil___attack;dur=1.00, ok.stage-2;dur=2.00`
+	if got != want {
+		t.Errorf("ServerTiming() = %q, want %q", got, want)
+	}
+}
+
+func TestSanitizeToken(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"extract", "extract"},
+		{"plan-exec.2_x", "plan-exec.2_x"},
+		{`a;b"c,d e`, "a_b_c_d_e"},
+		{"", ""},
+	} {
+		if got := sanitizeToken(tc.in); got != tc.want {
+			t.Errorf("sanitizeToken(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestTraceNilSafety(t *testing.T) {
 	var tr *Trace
 	tr.Observe("x", time.Second) // must not panic
@@ -59,6 +89,51 @@ func TestTraceStart(t *testing.T) {
 	if len(stages) != 1 || stages[0].Dur <= 0 {
 		t.Errorf("Start/stop recorded %v", stages)
 	}
+}
+
+// TestTraceStartSpan checks the flat-stage + span-tree bridge: with a
+// root attached, StartSpan both records the flat stage and grows the
+// tree; without one, only the flat stage is recorded.
+func TestTraceStartSpan(t *testing.T) {
+	tr := NewTrace()
+	st := NewSpanTrace("req", SpanContext{})
+	tr.SetRoot(st.Root())
+
+	sp, stop := tr.StartSpan("extract")
+	if sp == nil {
+		t.Fatal("sampled trace must return a live span")
+	}
+	sp.SetAttrInt("units", 4)
+	stop()
+
+	if stages := tr.Stages(); len(stages) != 1 || stages[0].Name != "extract" {
+		t.Errorf("flat stages = %v, want [extract]", stages)
+	}
+	kids := st.Root().Children()
+	if len(kids) != 1 || kids[0].Name() != "extract" || kids[0].Duration() <= 0 {
+		t.Fatalf("span tree children = %v", kids)
+	}
+	if attrs := kids[0].Attrs(); len(attrs) != 1 || attrs[0].Key != "units" || attrs[0].Int != 4 {
+		t.Errorf("span attrs = %v", attrs)
+	}
+
+	// Unsampled: nil root, still records the flat stage.
+	tr2 := NewTrace()
+	sp2, stop2 := tr2.StartSpan("extract")
+	if sp2 != nil {
+		t.Error("unsampled trace must return a nil span")
+	}
+	sp2.SetAttr("k", "v") // nil-safe
+	stop2()
+	if stages := tr2.Stages(); len(stages) != 1 {
+		t.Errorf("unsampled flat stages = %v", stages)
+	}
+
+	// Nil trace: everything no-ops.
+	var tr3 *Trace
+	sp3, stop3 := tr3.StartSpan("x")
+	sp3.End()
+	stop3()
 }
 
 func TestTraceLogArgs(t *testing.T) {

@@ -19,6 +19,7 @@ func (b *Bound) CollectInto(v rdfgraph.ID, out *rdfgraph.IDTripleSet) {
 // (instruction, node) pairs will be re-collected. Costs a generation bump;
 // rows are wiped only when the 8-bit generation wraps.
 func (b *Bound) ResetVisited() {
+	b.Resets++
 	b.gen++
 	if b.gen == 0 {
 		for i := range b.visited {

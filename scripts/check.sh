@@ -106,7 +106,33 @@ echo "== docs lint"
 $GO run ./cmd/doclint
 
 echo "== benchjson smoke"
-$GO run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment'
+$GO run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment|Traced'
+
+echo "== nil-tracer alloc parity"
+# Span tracing must cost nothing when disabled: the untraced variant of
+# BenchmarkTracedExtraction runs the exact BenchmarkFragmentParallel
+# workers=4 workload through the span-threaded code, so its allocs/op
+# must match the baseline. The 3% tolerance absorbs run-to-run noise in
+# the extractor's own map growth under work stealing (observed spread is
+# under 2% on an identical binary); the tracing plumbing itself would add
+# several allocations per extracted node if the nil-checks regressed —
+# far beyond it.
+status=0
+parity=$($GO test -run '^$' -bench 'BenchmarkFragmentParallel/workers=4$|BenchmarkTracedExtraction/trace=off' \
+    -benchtime 2x -benchmem . | awk '
+    $1 ~ /^BenchmarkFragmentParallel\/workers=4(-[0-9]+)?$/ { base = $(NF-1) }
+    $1 ~ /^BenchmarkTracedExtraction\/trace=off(-[0-9]+)?$/ { off = $(NF-1) }
+    END {
+        if (base == "" || off == "") { print "missing benchmark output"; exit 1 }
+        delta = off - base; if (delta < 0) delta = -delta
+        printf "baseline=%d nil-tracer=%d delta=%d\n", base, off, delta
+        if (delta > base * 0.03) exit 1
+    }') || status=$?
+echo "$parity"
+if [ "$status" -ne 0 ]; then
+    echo "nil-tracer hot path allocates differently from the untraced baseline" >&2
+    exit 1
+fi
 
 echo "== benchmark trajectory present"
 # The perf trajectory lives in repo-root BENCH_<n>.json snapshots
