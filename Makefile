@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json bench-json-smoke bench-sharded bench-sharded-10m check clean cover docs-check
+.PHONY: build test race vet bench bench-json bench-json-smoke bench-live bench-sharded bench-sharded-10m check clean cover docs-check
 
 build:
 	$(GO) build ./...
@@ -47,12 +47,19 @@ bench-parallel:
 # allocs/op, git SHA) with <n> one past the last snapshot — the same
 # location `make check` asserts is non-empty.
 bench-json:
-	$(GO) run ./cmd/benchjson -bench 'Fig|Tab|Containment|Traced' -benchtime 2s -dir .
+	$(GO) run ./cmd/benchjson -bench 'Fig|Tab|Containment|Traced|Live' -benchtime 2s -dir .
 
 # The same suite at one iteration each: proves the benchmarks compile and
 # the parser still reads their output, writes nothing. Part of `make check`.
 bench-json-smoke:
-	$(GO) run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment|Traced'
+	$(GO) run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment|Traced|Live'
+
+# Write-heavy serving run on its own: updates/s through incremental
+# fragment maintenance at 0/100/1000 open subscriptions, with the post-run
+# heap size, snapshotted into the trajectory.
+bench-live:
+	$(GO) run ./cmd/benchjson -bench LiveUpdates -benchtime 2s -dir . \
+		-meta series=live-updates -meta subscriptions=0,100,1000
 
 # Store-tier shard sweep at serving scale: the sharded backend (1/4/16
 # shards) against the single backend, snapshotted into the trajectory.

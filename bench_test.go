@@ -16,12 +16,15 @@ package shaclfrag_test
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"testing"
 
 	shaclfrag "shaclfrag"
 	"shaclfrag/internal/contain"
 	"shaclfrag/internal/core"
 	"shaclfrag/internal/datagen"
+	"shaclfrag/internal/live"
 	"shaclfrag/internal/obs"
 	"shaclfrag/internal/paths"
 	"shaclfrag/internal/plan"
@@ -544,4 +547,69 @@ func pathBase(p string) string {
 		}
 	}
 	return p
+}
+
+// BenchmarkLiveUpdates is the write-heavy serving benchmark behind the
+// /subscribe feature: one op is one effective update (Apply + incremental
+// fragment maintenance + fanout) against a Tyrol background graph, with
+// the given number of open subscriptions draining their streams. Because
+// re-extraction is restricted to the delta's weakly-connected component,
+// updates/s should be nearly flat in graph size; the subs sweep prices
+// the fanout. heap-MB reports the post-run live heap — the materialized
+// fragment, replay rings and queues must stay bounded as subscriptions
+// scale to 1000+.
+func BenchmarkLiveUpdates(b *testing.B) {
+	hot := rdf.NewIRI("http://live.example/hot")
+	vi := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://live.example/v%d", i)) }
+	for _, subs := range []int{0, 100, 1000} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			hasP := shape.Min(1, paths.P("http://live.example/p"), shape.TrueShape())
+			h := schema.MustNew(schema.Definition{Name: rdf.NewIRI("http://live.example/S"), Shape: hasP, Target: hasP})
+			g := tyrolGraph(1000)
+			g.Add(rdf.Triple{S: hot, P: rdf.NewIRI("http://live.example/p"), O: vi(0)})
+			store.WarmDictionary(g, h)
+			st := store.NewSingle(g)
+			m := live.NewMaintainer(live.Config{
+				Schema:         h,
+				Requests:       core.SchemaRequests(h),
+				MaxSubscribers: subs + 1,
+				Queue:          256,
+			}, st.Current())
+			var wg sync.WaitGroup
+			for i := 0; i < subs; i++ {
+				sub, _, err := m.Subscribe(0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range sub.Events() {
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 1; i <= b.N; i++ {
+				res := st.Apply(rdfgraph.Delta{
+					Add: []rdf.Triple{{S: hot, P: rdf.NewIRI("http://live.example/p"), O: vi(i)}},
+					Del: []rdf.Triple{{S: hot, P: rdf.NewIRI("http://live.example/p"), O: vi(i - 1)}},
+				})
+				if !res.Changed {
+					b.Fatal("update was a no-op")
+				}
+				m.Notify(res, nil)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heap-MB")
+			if ev := m.Stats().Evicted; ev > 0 {
+				b.ReportMetric(float64(ev), "evicted-subs")
+			}
+			m.Drain()
+			wg.Wait()
+		})
+	}
 }

@@ -4,7 +4,10 @@
 // and /tpf triple pattern fragments, streaming N-Triples. POST /update
 // applies live Turtle/N-Triples deltas: each effective update publishes a
 // new immutable snapshot epoch while in-flight requests keep reading the
-// one they pinned (see the X-Epoch response header).
+// one they pinned (see the X-Epoch response header). GET /subscribe streams
+// live per-epoch fragment deltas (Server-Sent Events, resumable via
+// Last-Event-ID) maintained incrementally: each update re-extracts only the
+// focus nodes whose weakly-connected component the delta touched.
 //
 // Serve your own data:
 //
@@ -75,6 +78,10 @@ func main() {
 	noExplain := flag.Bool("no-explain", false, "disable the /explain route")
 	attrSample := flag.Int("attribution-sample", 0, "attribute 1 in N extraction requests into the fragserver_attribution_* counters (0 disables; sampled requests bypass the neighborhood cache)")
 	maxUpdateBytes := flag.Int64("max-update-bytes", 8<<20, "largest delta body POST /update accepts")
+	maxSubscribers := flag.Int("max-subscribers", 4096, "maximum concurrently open /subscribe streams")
+	subQueue := flag.Int("subscribe-queue", 32, "per-subscriber event buffer; a subscriber whose buffer overflows is evicted")
+	subReplay := flag.Int("subscribe-replay", 64, "per-shape delta ring for Last-Event-ID resume; older resumers get a full snapshot")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "idle /subscribe stream heartbeat interval")
 	traceSample := flag.Int("trace-sample", 0, "record a hierarchical span trace for 1 in N requests, served on /debug/traces (0 disables; requests with a sampled traceparent header are always traced)")
 	traceBuffer := flag.Int("trace-buffer", 0, "trace ring capacity for /debug/traces (0 = default 128)")
 	slowRequest := flag.Duration("slow-request", 0, "latency threshold for the structured slow-request warning; sampled slow traces are kept as notable (0 disables)")
@@ -109,6 +116,10 @@ func main() {
 		DisableExplain:    *noExplain,
 		AttributionSample: *attrSample,
 		MaxUpdateBytes:    *maxUpdateBytes,
+		MaxSubscribers:    *maxSubscribers,
+		SubscribeQueue:    *subQueue,
+		SubscribeReplay:   *subReplay,
+		Heartbeat:         *heartbeat,
 		TraceSample:       *traceSample,
 		TraceBuffer:       *traceBuffer,
 		SlowRequest:       *slowRequest,

@@ -40,6 +40,14 @@ const (
 	mContainUnknown  = "fragserver_containment_unknown_total"
 	mContainClasses  = "fragserver_containment_classes"
 	mContainShared   = "fragserver_containment_shared_shapes"
+	mSubsOpen        = "fragserver_subscribers"
+	mSubsTotal       = "fragserver_subscriptions_total"
+	mSubsEvicted     = "fragserver_subscribers_evicted_total"
+	mSubsResumed     = "fragserver_subscriptions_resumed_total"
+	mLiveEvents      = "fragserver_live_events_total"
+	mLiveShapes      = "fragserver_live_shapes"
+	mLiveReextract   = "fragserver_live_reextracted_total"
+	mLiveDelta       = "fragserver_live_delta_triples_total"
 	mTracesKept      = "fragserver_traces_kept"
 	mTracesSampled   = "fragserver_traces_sampled_total"
 	mTracesDropped   = "fragserver_traces_dropped_total"
@@ -51,7 +59,7 @@ const (
 // bounded no matter what paths clients probe.
 var routeNames = []string{
 	"/validate", "/fragment", "/node", "/explain", "/tpf", "/update",
-	"/healthz", "/readyz", "/stats", "/metrics", "/debug/traces",
+	"/subscribe", "/healthz", "/readyz", "/stats", "/metrics", "/debug/traces",
 }
 
 func normalizeRoute(path string) string {
@@ -73,7 +81,7 @@ func normalizeRoute(path string) string {
 // registry lookups.
 var stageNames = []string{
 	"parse", "target", "extract", "serialize", "validate", "nnf", "merge",
-	"apply", "replan", "scatter", "gather",
+	"apply", "replan", "notify", "scatter", "gather",
 }
 
 // serverMetrics owns the server's registry plus the pre-created hot-path
@@ -100,6 +108,10 @@ type serverMetrics struct {
 	updRejected *obs.Counter
 	updAdded    *obs.Counter
 	updDeleted  *obs.Counter
+
+	// GET /subscribe streams accepted since start; the rest of the
+	// subscription series sample the live.Maintainer's own counters.
+	subsOpened *obs.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -133,6 +145,29 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Effective triple operations applied by updates, by op.", obs.L("op", "add"))
 	m.updDeleted = reg.Counter(mUpdateTriples,
 		"Effective triple operations applied by updates, by op.", obs.L("op", "delete"))
+	// Subscription and incremental-maintenance series. subsOpened is the
+	// only one the handler increments; everything else samples the
+	// maintainer's counters at scrape time.
+	m.subsOpened = reg.Counter(mSubsTotal, "GET /subscribe streams accepted.")
+	reg.GaugeFunc(mSubsOpen, "Subscription streams currently open.",
+		func() float64 { return float64(s.live.Stats().Subscribers) })
+	reg.GaugeFunc(mLiveShapes, "Shapes with an incrementally maintained materialized fragment.",
+		func() float64 { return float64(s.live.Stats().Shapes) })
+	reg.CounterFunc(mSubsEvicted, "Subscribers evicted because their event queue was full when a delta fanned out.",
+		func() float64 { return float64(s.live.Stats().Evicted) })
+	reg.CounterFunc(mSubsResumed, "Subscriptions resumed from the replay ring via Last-Event-ID.",
+		func() float64 { return float64(s.live.Stats().Resumed) })
+	reg.CounterFunc(mLiveEvents, "Events enqueued to subscribers, by type (delta, snapshot).",
+		func() float64 { return float64(s.live.Stats().EventsDelta) }, obs.L("type", "delta"))
+	reg.CounterFunc(mLiveEvents, "Events enqueued to subscribers, by type (delta, snapshot).",
+		func() float64 { return float64(s.live.Stats().EventsSnap) }, obs.L("type", "snapshot"))
+	reg.CounterFunc(mLiveReextract, "Per-(shape, node) neighborhood re-extractions run by incremental maintenance.",
+		func() float64 { return float64(s.live.Stats().Reextracted) })
+	reg.CounterFunc(mLiveDelta, "Triples that entered or left a maintained fragment, by direction (added, removed).",
+		func() float64 { return float64(s.live.Stats().DeltaAdded) }, obs.L("direction", "added"))
+	reg.CounterFunc(mLiveDelta, "Triples that entered or left a maintained fragment, by direction (added, removed).",
+		func() float64 { return float64(s.live.Stats().DeltaRemove) }, obs.L("direction", "removed"))
+
 	m.explainTriples = reg.Counter(mExplainTriples,
 		"Triples returned by /explain responses.")
 	m.explainJust = reg.Counter(mExplainJust,

@@ -1,0 +1,93 @@
+package fragserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// labeledMetricValue parses one labeled series out of /metrics text, e.g.
+// fragserver_update_total{result="rejected"} 3.
+func labeledMetricValue(t *testing.T, body, name, label string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `\{[^}]*` + regexp.QuoteMeta(label) + `[^}]*\} ([0-9.eE+-]+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s{%s} not found in /metrics output", name, label)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestUpdateRejectionPathsCounted pins the undercounting bug: every 4xx/5xx
+// rejection path of POST /update must increment
+// fragserver_update_total{result="rejected"} — including the bad-op,
+// empty-delta and truncated-body paths, which used to return without
+// counting.
+func TestUpdateRejectionPathsCounted(t *testing.T) {
+	srv, ts := newUpdateTestServer(t, Config{MaxUpdateBytes: 64})
+	count := func() uint64 { return srv.metrics.updRejected.Value() }
+
+	for _, tc := range []struct {
+		name, path, body string
+		want             int
+	}{
+		{"bad op", "/update?op=replace", "<http://ex/a> <http://ex/p> <http://ex/z> .", http.StatusBadRequest},
+		{"bad syntax", "/update", "this is not turtle", http.StatusBadRequest},
+		{"empty delta", "/update", "# only a comment\n", http.StatusBadRequest},
+		{"oversized", "/update", strings.Repeat("<http://ex/a> <http://ex/p> <http://ex/z> .\n", 10), http.StatusRequestEntityTooLarge},
+	} {
+		before := count()
+		resp, body := post(t, ts, tc.path, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: got %d, want %d\n%s", tc.name, resp.StatusCode, tc.want, body)
+		}
+		if got := count(); got != before+1 {
+			t.Errorf("%s: rejected counter %d → %d, want +1", tc.name, before, got)
+		}
+	}
+
+	// Drain rejection counts too.
+	before := count()
+	srv.draining.Store(true)
+	if resp, _ := post(t, ts, "/update", "<http://ex/a> <http://ex/p> <http://ex/z> ."); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("update during drain not rejected")
+	}
+	srv.draining.Store(false)
+	if got := count(); got != before+1 {
+		t.Errorf("drain rejection: counter %d → %d, want +1", before, got)
+	}
+
+	// The truncated-body path (a read error that is NOT MaxBytesError):
+	// announce a large Content-Length, send a few bytes, hang up. The
+	// handler's body read fails with an unexpected EOF and must count the
+	// rejection even though nobody sees the 400.
+	before = count()
+	conn, err := net.Dial("tcp", ts.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "POST /update HTTP/1.1\r\nHost: t\r\nContent-Type: text/turtle\r\nContent-Length: 1000\r\n\r\npartial")
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for count() != before+1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("truncated-body rejection never counted: %d → %d", before, count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// And the counter is what /metrics exports under result="rejected".
+	_, metrics := get(t, ts, "/metrics")
+	if got := labeledMetricValue(t, metrics, mUpdateTotal, `result="rejected"`); got != float64(count()) {
+		t.Errorf("/metrics rejected = %v, counter = %d", got, count())
+	}
+}

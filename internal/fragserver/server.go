@@ -88,6 +88,7 @@ import (
 
 	"shaclfrag/internal/contain"
 	"shaclfrag/internal/core"
+	"shaclfrag/internal/live"
 	"shaclfrag/internal/obs"
 	"shaclfrag/internal/plan"
 	"shaclfrag/internal/rdf"
@@ -156,6 +157,23 @@ type Config struct {
 	// <= 0 means 8 MiB.
 	MaxUpdateBytes int64
 
+	// MaxSubscribers bounds concurrently open GET /subscribe streams
+	// across all shapes; <= 0 means 4096. Subscriptions are long-lived and
+	// exempt from MaxInflight, so they need their own bound.
+	MaxSubscribers int
+	// SubscribeQueue is the per-subscriber event buffer; <= 0 means 32. A
+	// subscriber whose buffer is full when a fragment delta fans out is
+	// evicted (stream closes with a bye event) instead of stalling the
+	// update path.
+	SubscribeQueue int
+	// SubscribeReplay bounds the per-shape delta ring used to resume
+	// subscribers from a Last-Event-ID epoch; <= 0 means 64. A resumer
+	// further behind than the ring gets a full snapshot event instead.
+	SubscribeReplay int
+	// Heartbeat is the idle-stream comment interval on /subscribe keeping
+	// intermediaries from timing the connection out; <= 0 means 15s.
+	Heartbeat time.Duration
+
 	// TraceSample enables head-based hierarchical tracing: 1 in N
 	// requests records a span tree served on /debug/traces (1 traces
 	// every request, 0 disables head sampling). Independently of N, a
@@ -220,6 +238,12 @@ type Server struct {
 	classShapes    []shape.Shape
 	classes        atomic.Pointer[contain.Classes]
 	containUnknown atomic.Uint64
+
+	// live maintains materialized fragments incrementally across epochs
+	// and fans per-epoch deltas out to /subscribe streams (never nil after
+	// New); hb is the stream heartbeat interval.
+	live *live.Maintainer
+	hb   time.Duration
 
 	handler  http.Handler
 	started  time.Time
@@ -333,8 +357,34 @@ func New(cfg Config) (*Server, error) {
 	s.staleFloor.Store(s.store.Current().Epoch())
 	s.classShapes = append(append([]shape.Shape{}, s.requests...), defShapes(cfg.Schema)...)
 	s.replan(s.store.Current(), nil)
+	s.hb = cfg.Heartbeat
+	if s.hb <= 0 {
+		s.hb = 15 * time.Second
+	}
+	s.live = live.NewMaintainer(live.Config{
+		Schema:   cfg.Schema,
+		Requests: s.requests,
+		Cache:    s.cache,
+		Plans: func(def int) *plan.Program {
+			if set := s.planSet.Load(); set != nil && def < len(set.Programs) {
+				return set.Programs[def]
+			}
+			return nil
+		},
+		Replay:         cfg.SubscribeReplay,
+		Queue:          cfg.SubscribeQueue,
+		MaxSubscribers: cfg.MaxSubscribers,
+	}, s.store.Current())
 	s.metrics = newServerMetrics(s)
-	s.handler = s.withObs(s.withLimit(s.withTimeout(s.routes())))
+	// /subscribe streams are long-lived: they bypass the per-request
+	// timeout and the in-flight limiter (the maintainer enforces its own
+	// MaxSubscribers bound) but still run under withObs, so they are
+	// logged, counted and traceable like every other route.
+	inner := s.withLimit(s.withTimeout(s.routes()))
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /subscribe", s.handleSubscribe)
+	outer.Handle("/", inner)
+	s.handler = s.withObs(outer)
 	return s, nil
 }
 
@@ -427,6 +477,12 @@ func (s *Server) sampleTrace() bool {
 	return (s.traceCount.Add(1)-1)%uint64(s.traceSample) == 0
 }
 
+// Live returns the incremental fragment maintainer behind GET /subscribe
+// (never nil after New). Callers embedding the server via Handler instead
+// of Serve must call its Drain during shutdown to close subscription
+// streams cleanly.
+func (s *Server) Live() *live.Maintainer { return s.live }
+
 // Store returns the server's snapshot store. Callers embedding the server
 // can apply deltas directly through it, but going through POST /update is
 // preferred: only the handler keeps the neighborhood cache warm (Carry)
@@ -461,6 +517,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 	case <-ctx.Done():
 	}
 	s.draining.Store(true)
+	// Close subscription streams first (each gets a terminal bye event and
+	// its handler returns), so Shutdown is not held open for the full
+	// drain budget by connections that would otherwise never finish.
+	s.live.Drain()
 	s.log.Info("shutting down", "drain", drain.String())
 	sctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

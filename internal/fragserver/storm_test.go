@@ -1,0 +1,102 @@
+package fragserver
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"shaclfrag/internal/rdf"
+	"shaclfrag/internal/rdfgraph"
+)
+
+// TestUpdateCarryStormParity pins the cache-carry race: handleUpdate used
+// to read the base epoch with s.store.Current().Epoch() BEFORE calling
+// Apply, outside the store's apply lock. Two racing updates could then
+// both observe base epoch N; the one applying second would carry cache
+// entries N→N+2 using only its own delta's Unaffected predicate, silently
+// resurrecting entries the first delta had invalidated — and every honest
+// carry afterwards propagates the resurrected entry to the newest epoch,
+// so the stale neighborhood keeps being served. The fix keys the carry on
+// ApplyResult.Prev, the predecessor epoch the store records under its own
+// apply lock.
+//
+// Each attempt stages the exact scenario. The victim component {a,b} is
+// freshly warmed in the cache; an in-flight reader stays pinned to that
+// epoch for the whole burst (so the sweeper cannot hide the bug by
+// evicting the base-epoch entries the buggy carries clone from). Then one
+// small update extending the victim races a burst of large updates to
+// independent noise components: the large bodies make the serialized
+// applies slow, so the noise handlers read their base epoch before the
+// victim update publishes but apply after it — the precise interleaving
+// that makes the pre-Apply read stale. Afterwards the served neighborhood
+// of the victim must contain every triple ever added to it; with the bug
+// a resurrected entry is missing the newest one. Run with -race.
+func TestUpdateCarryStormParity(t *testing.T) {
+	const noise, attempts, noiseTriples = 6, 12, 200
+	seed := []rdf.Triple{exTriple("a", "b")}
+	for w := 0; w < noise; w++ {
+		seed = append(seed, exTriple(fmt.Sprintf("n%d-a", w), fmt.Sprintf("n%d-b", w)))
+	}
+	srv, ts := newUpdateTestServer(t, Config{Graph: rdfgraph.FromTriples(seed)})
+
+	noiseBody := func(w, attempt int) string {
+		var sb strings.Builder
+		for i := 0; i < noiseTriples; i++ {
+			fmt.Fprintf(&sb, "<http://ex/n%d-a%d-%d> <http://ex/p> <http://ex/n%d-b%d-%d> .\n",
+				w, attempt, i, w, attempt, i)
+		}
+		return sb.String()
+	}
+
+	for attempt := 0; attempt < attempts; attempt++ {
+		// Warm the victim's neighborhood at the current epoch, so the
+		// racing carries have an entry to (mis)handle.
+		if resp, _ := get(t, ts, nodeURL("a")); resp.StatusCode != http.StatusOK {
+			t.Fatalf("warming read failed at attempt %d", attempt)
+		}
+		// An in-flight reader keeps the pre-burst epoch pinned for the
+		// whole burst, exactly like a long read racing the updates.
+		base := srv.store.Current().Epoch()
+		srv.pins.pin(base)
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		post1 := func(body string) {
+			defer wg.Done()
+			<-start
+			resp, out := post(t, ts, "/update", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("storm update: %d\n%s", resp.StatusCode, out)
+			}
+		}
+		wg.Add(1 + noise)
+		go post1(fmt.Sprintf("<http://ex/a> <http://ex/p> <http://ex/v%d> .", attempt))
+		for w := 0; w < noise; w++ {
+			go post1(noiseBody(w, attempt))
+		}
+		close(start)
+		wg.Wait()
+		srv.pins.unpin(base)
+
+		// Every triple the victim has ever gained must be served; a stale
+		// resurrected entry is missing the newest.
+		_, body := get(t, ts, nodeURL("a"))
+		if !strings.Contains(body, lineAB) {
+			t.Fatalf("attempt %d: victim lost its seed triple:\n%s", attempt, body)
+		}
+		for i := 0; i <= attempt; i++ {
+			want := fmt.Sprintf("<http://ex/a> <http://ex/p> <http://ex/v%d> .", i)
+			if !strings.Contains(body, want) {
+				t.Fatalf("attempt %d: served neighborhood is missing %s — a stale cache entry was carried past the update that invalidated it:\n%s",
+					attempt, want, body)
+			}
+		}
+	}
+
+	wantEpoch := uint64(1 + attempts*(1+noise))
+	if got := srv.store.Current().Epoch(); got != wantEpoch {
+		t.Fatalf("final epoch = %d, want %d", got, wantEpoch)
+	}
+}

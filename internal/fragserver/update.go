@@ -50,6 +50,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	case "delete":
 		del = true
 	default:
+		s.metrics.updRejected.Inc()
 		http.Error(w, "op="+op+": want add or delete", http.StatusBadRequest)
 		return
 	}
@@ -65,6 +66,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
 			return
 		}
+		s.metrics.updRejected.Inc()
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -76,6 +78,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(triples) == 0 {
+		s.metrics.updRejected.Inc()
 		http.Error(w, "empty delta: the body parsed to no triples", http.StatusBadRequest)
 		return
 	}
@@ -84,14 +87,19 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if del {
 		delta = rdfgraph.Delta{Del: triples}
 	}
-	before := s.store.Current().Epoch()
 	applySpan, stopApply := tr.StartSpan("apply")
 	res := s.store.Apply(delta)
 	carried := 0
 	if res.Changed && s.cache != nil {
-		// Keep the cache warm: entries whose node the delta provably
-		// did not affect are valid verbatim in the new epoch.
-		carried = s.cache.Carry(before, res.Snapshot.Epoch(), res.Unaffected)
+		// Keep the cache warm: entries whose node the delta provably did
+		// not affect are valid verbatim in the new epoch. The carry MUST
+		// be keyed on res.Prev — the epoch the store actually applied the
+		// delta against, read under its lock — not on an epoch sampled
+		// before Apply: under racing updates the pre-Apply read can be two
+		// or more epochs stale, and carrying across the unobserved
+		// intermediate delta with only this delta's Unaffected predicate
+		// would silently preserve entries the other delta invalidated.
+		carried = s.cache.Carry(res.Prev, res.Snapshot.Epoch(), res.Unaffected)
 	}
 	applySpan.SetAttrInt("added", int64(res.Added))
 	applySpan.SetAttrInt("deleted", int64(res.Deleted))
@@ -104,12 +112,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		replanSpan, stopReplan := tr.StartSpan("replan")
 		s.replan(res.Snapshot, replanSpan)
 		stopReplan()
+		// Advance incremental fragment maintenance and fan deltas out to
+		// /subscribe streams. Runs after replan so re-extraction follows
+		// the new epoch's compiled plans, and synchronously in the update
+		// path so heavy subscription load backpressures writers instead
+		// of accumulating an unbounded notification backlog.
+		notifySpan, stopNotify := tr.StartSpan("notify")
+		ls := s.live.Notify(res, notifySpan)
+		stopNotify()
 		s.metrics.updApplied.Inc()
 		s.metrics.updAdded.Add(uint64(res.Added))
 		s.metrics.updDeleted.Add(uint64(res.Deleted))
 		s.log.Info("update applied",
 			"epoch", res.Snapshot.Epoch(), "added", res.Added, "deleted", res.Deleted,
-			"carried", carried, "triples", res.Snapshot.Reader().Len())
+			"carried", carried, "triples", res.Snapshot.Reader().Len(),
+			"live_affected", ls.Affected, "live_delta", ls.Added+ls.Removed)
 	} else {
 		s.metrics.updNoop.Inc()
 	}

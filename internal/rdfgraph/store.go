@@ -62,6 +62,15 @@ type ApplyResult struct {
 	// Snapshot is the snapshot current after the call: the freshly
 	// published epoch, or the previous one when the delta was a no-op.
 	Snapshot *Snapshot
+	// Prev is the epoch the delta was applied against, read under the
+	// same lock that published Snapshot — so Prev+1 == Snapshot.Epoch()
+	// whenever Changed. Callers carrying caches across the update MUST
+	// key the carry on Prev, never on an epoch they read before calling
+	// Apply: two racing updates can both observe the same pre-apply
+	// epoch, and the later one would then carry entries across the
+	// earlier delta using only its own Unaffected predicate, silently
+	// skipping the earlier delta's effects.
+	Prev uint64
 	// Added and Deleted count effective operations (duplicates and
 	// absent deletions excluded).
 	Added, Deleted int
@@ -120,6 +129,7 @@ func (st *Store) Apply(d Delta) ApplyResult {
 		// return before touching any index), so the clone is discarded.
 		return ApplyResult{
 			Snapshot:   old,
+			Prev:       old.epoch,
 			Unaffected: func(ID) bool { return true },
 		}
 	}
@@ -139,11 +149,32 @@ func (st *Store) Apply(d Delta) ApplyResult {
 	st.cur.Store(snap)
 	return ApplyResult{
 		Snapshot:   snap,
+		Prev:       old.epoch,
 		Added:      added,
 		Deleted:    deleted,
 		Changed:    true,
 		Unaffected: uf.Unaffected(dirty),
 	}
+}
+
+// AffectedNodes filters nodes down to those the delta's components touch:
+// the inversion of Unaffected into the worklist incremental re-extraction
+// runs over. Pass the new snapshot's NodeIDs to get the focus nodes whose
+// neighborhood or verdict may have changed (new nodes introduced by the
+// delta are endpoints of effective triples, so they always qualify); nodes
+// a deletion removed from N(G) are absent from that list and must be
+// handled by the caller (their neighborhoods are empty in the new epoch).
+func (res ApplyResult) AffectedNodes(nodes []ID) []ID {
+	if !res.Changed {
+		return nil
+	}
+	var out []ID
+	for _, id := range nodes {
+		if !res.Unaffected(id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Components is a disjoint-set forest over dense IDs, used by the snapshot

@@ -410,6 +410,7 @@ func (st *Sharded) Apply(d rdfgraph.Delta) ApplyResult {
 	if added == 0 && deleted == 0 {
 		return ApplyResult{
 			Snapshot:   old,
+			Prev:       old.epoch,
 			Unaffected: func(rdfgraph.ID) bool { return true },
 		}
 	}
@@ -426,6 +427,7 @@ func (st *Sharded) Apply(d rdfgraph.Delta) ApplyResult {
 	st.cur.Store(snap)
 	return ApplyResult{
 		Snapshot:   snap,
+		Prev:       old.epoch,
 		Added:      added,
 		Deleted:    deleted,
 		Changed:    true,

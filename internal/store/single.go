@@ -30,6 +30,7 @@ func (st *Single) Apply(d rdfgraph.Delta) ApplyResult {
 	res := st.st.Apply(d)
 	return ApplyResult{
 		Snapshot:   singleSnap{res.Snapshot},
+		Prev:       res.Prev,
 		Added:      res.Added,
 		Deleted:    res.Deleted,
 		Changed:    res.Changed,

@@ -66,12 +66,33 @@ type Snapshot interface {
 // see that type for the precise Unaffected contract (component analysis
 // over the union of the previous epoch's edges and the added edges — for
 // the sharded backend the components are built globally across all shards,
-// never per shard, because a neighborhood freely spans shard boundaries).
+// never per shard, because a neighborhood freely spans shard boundaries)
+// and the Prev contract (the epoch the delta was applied against, read
+// under the apply lock — the only sound key for carrying caches across
+// the update; an epoch read before Apply can be stale under racing
+// writers).
 type ApplyResult struct {
 	Snapshot       Snapshot
+	Prev           uint64
 	Added, Deleted int
 	Changed        bool
 	Unaffected     func(rdfgraph.ID) bool
+}
+
+// AffectedNodes filters nodes down to those the delta's components touch —
+// the worklist incremental re-extraction runs over. See
+// rdfgraph.ApplyResult.AffectedNodes.
+func (res ApplyResult) AffectedNodes(nodes []rdfgraph.ID) []rdfgraph.ID {
+	if !res.Changed {
+		return nil
+	}
+	var out []rdfgraph.ID
+	for _, id := range nodes {
+		if !res.Unaffected(id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Store owns a sequence of immutable graph snapshots and publishes new

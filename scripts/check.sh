@@ -23,7 +23,15 @@ echo "== go build"
 $GO build ./...
 
 echo "== go test -race (serving path)"
-$GO test -race ./internal/core ./internal/rdfgraph ./internal/fragserver ./internal/shapelint
+$GO test -race ./internal/core ./internal/rdfgraph ./internal/fragserver ./internal/live ./internal/shapelint
+
+echo "== update/subscription storm (-race, -short)"
+# The carry-race pin (stale cache entries resurrected by racing updates)
+# and the concurrent apply/notify/fanout storms, re-run on their own so a
+# flake here names the tier that guards the write path.
+$GO test -race -short -count=1 \
+    -run 'TestUpdateCarryStormParity|TestUpdateRejectionPathsCounted|TestSubscribe|TestStormParity|TestSlowSubscriberEviction' \
+    ./internal/fragserver ./internal/live
 
 echo "== go test -race (store tier, -short)"
 # -short downsizes the loader scale test; the full 1M load runs race-free
@@ -106,7 +114,7 @@ echo "== docs lint"
 $GO run ./cmd/doclint
 
 echo "== benchjson smoke"
-$GO run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment|Traced'
+$GO run ./cmd/benchjson -smoke -bench 'Fig|Tab|Containment|Traced|Live'
 
 echo "== nil-tracer alloc parity"
 # Span tracing must cost nothing when disabled: the untraced variant of
